@@ -1,0 +1,46 @@
+//! Fig. 2 — cumulative distribution of microservice sharing.
+//!
+//! Paper: traces with 20 000+ microservices and 1 000+ online services;
+//! ~40 % of microservices are shared by more than 100 online services.
+//!
+//! We regenerate the statistic from the synthetic Alibaba-like topology
+//! generator (see `erms_trace::alibaba` for the calibration argument).
+
+use erms_bench::table;
+use erms_trace::alibaba::{generate, AlibabaConfig};
+
+fn main() {
+    let generated = generate(&AlibabaConfig::fig2(2023));
+    let thresholds = [1usize, 2, 5, 10, 20, 50, 100, 200, 500];
+    let cdf = generated.sharing_cdf(&thresholds);
+
+    let rows: Vec<Vec<String>> = cdf
+        .iter()
+        .map(|(t, frac)| vec![format!("<= {t}"), format!("{:.3}", frac)])
+        .collect();
+    table::print(
+        "Fig. 2: CDF of microservices shared by x online services",
+        &["shared by", "CDF"],
+        &rows,
+    );
+
+    let over_100 = 1.0 - cdf.iter().find(|(t, _)| *t == 100).map(|(_, f)| *f).unwrap_or(1.0);
+    println!(
+        "\nreferenced microservices: {}   shared (>=2 services): {}",
+        generated.sharing_counts.len(),
+        generated.shared_count()
+    );
+    table::claim(
+        "fraction of microservices shared by >100 services",
+        "~0.40",
+        &format!("{over_100:.2}"),
+        (0.2..=0.6).contains(&over_100),
+    );
+    let shared_frac = generated.shared_count() as f64 / generated.sharing_counts.len() as f64;
+    table::claim(
+        "most referenced microservices are shared at all",
+        ">0.5",
+        &format!("{shared_frac:.2}"),
+        shared_frac > 0.5,
+    );
+}

@@ -1,0 +1,121 @@
+//! Fig. 12 — tail latency and SLA-violation probability under static
+//! workloads.
+//!
+//! Paper: average SLA-violation probability is <2 % under Erms vs 16.5 %
+//! (Firm), 13.5 % (GrandSLAm) and 7.3 % (Rhythm); Erms also reduces the
+//! actual end-to-end delay by ~10 %, and both higher workloads and lower
+//! SLAs raise violations for every scheme.
+
+use erms_bench::sweep::{mean_by_scheme, static_sweep, SchemeSet};
+use erms_bench::table;
+use erms_core::latency::Interference;
+use erms_workload::static_load::{sla_levels, workload_levels};
+
+fn main() {
+    let workloads: Vec<f64> = workload_levels()
+        .into_iter()
+        .map(|r| r.as_per_minute())
+        .collect();
+    let slas = sla_levels();
+    let itf = Interference::new(0.45, 0.40);
+    let records = static_sweep(&workloads, &slas, itf, SchemeSet::Full);
+
+    // (a) mean violation probability per scheme.
+    let violations = mean_by_scheme(&records, |r| r.violation);
+    let rows: Vec<Vec<String>> = violations
+        .iter()
+        .map(|(name, v)| {
+            let paper = match name.as_str() {
+                "erms" => "<2%",
+                "firm" => "16.5%",
+                "grandslam" => "13.5%",
+                "rhythm" => "7.3%",
+                _ => "-",
+            };
+            vec![
+                name.clone(),
+                paper.to_string(),
+                format!("{:.1}%", v * 100.0),
+            ]
+        })
+        .collect();
+    table::print(
+        "Fig. 12(a): average SLA violation probability",
+        &["scheme", "paper", "measured"],
+        &rows,
+    );
+
+    let get = |name: &str| {
+        violations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(1.0)
+    };
+    let erms = get("erms");
+    table::claim(
+        "Erms has the lowest violation probability",
+        "<2% vs 7.3-16.5% for baselines",
+        &format!(
+            "erms {:.1}% vs firm {:.1}%, grandslam {:.1}%, rhythm {:.1}%",
+            erms * 100.0,
+            get("firm") * 100.0,
+            get("grandslam") * 100.0,
+            get("rhythm") * 100.0
+        ),
+        erms <= get("firm") && erms < get("grandslam") && erms < get("rhythm") && erms < 0.05,
+    );
+
+    // (b) latency ratio (predicted P95 / SLA).
+    let ratios = mean_by_scheme(&records, |r| r.latency_ratio);
+    let rows_b: Vec<Vec<String>> = ratios
+        .iter()
+        .map(|(name, v)| vec![name.clone(), format!("{v:.2}")])
+        .collect();
+    table::print(
+        "Fig. 12(b): mean end-to-end latency relative to SLA",
+        &["scheme", "P95 / SLA"],
+        &rows_b,
+    );
+    let ratio = |name: &str| {
+        ratios
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(10.0)
+    };
+    // Firm buys low latency with ~2x the containers (Fig. 11); the fair
+    // latency comparison is against the statistics-driven baselines.
+    table::claim(
+        "Erms reduces actual end-to-end delay vs GrandSLAm/Rhythm",
+        "~10% lower",
+        &format!(
+            "erms {:.2} vs grandslam {:.2}, rhythm {:.2} (firm {:.2} at ~2x containers)",
+            ratio("erms"),
+            ratio("grandslam"),
+            ratio("rhythm"),
+            ratio("firm")
+        ),
+        ratio("erms") <= ratio("grandslam").min(ratio("rhythm")),
+    );
+
+    // Violations grow with workload and shrink with SLA, for every scheme.
+    let low_w: f64 = records
+        .iter()
+        .filter(|r| r.workload <= 6_000.0)
+        .map(|r| r.violation)
+        .sum::<f64>()
+        / records.iter().filter(|r| r.workload <= 6_000.0).count().max(1) as f64;
+    let high_w: f64 = records
+        .iter()
+        .filter(|r| r.workload >= 60_000.0)
+        .map(|r| r.violation)
+        .sum::<f64>()
+        / records.iter().filter(|r| r.workload >= 60_000.0).count().max(1) as f64;
+    table::claim(
+        "higher workloads raise violation probability",
+        "monotone trend",
+        &format!("low {:.1}% vs high {:.1}%", low_w * 100.0, high_w * 100.0),
+        high_w >= low_w,
+    );
+}

@@ -1,0 +1,137 @@
+//! Fig. 13 — performance under a dynamic (Alibaba-shaped) workload,
+//! Social Network application, SLA = 200 ms.
+//!
+//! Every scheme replans each minute from the *previous* minute's observed
+//! workload and is then evaluated against the minute's actual workload —
+//! the reaction-lag setting of §6.3.2. Paper: all schemes track workload
+//! changes, Erms saves up to 30 % of containers on average and never
+//! violates the SLA, while Firm can violate by up to 50 % at workload
+//! peaks due to its late detection of bottleneck microservices.
+
+use erms_baselines::{Firm, GrandSlam, Rhythm};
+use erms_bench::sweep::evaluate_plan;
+use erms_bench::{plan_static, table};
+use erms_core::app::{RequestRate, WorkloadVector};
+use erms_core::autoscaler::Autoscaler;
+use erms_core::latency::Interference;
+use erms_core::manager::Erms;
+use erms_workload::apps::social_network;
+use erms_workload::dynamic::DynamicWorkload;
+
+fn main() {
+    let bench = social_network(200.0);
+    let app = &bench.app;
+    let itf = Interference::new(0.45, 0.40);
+    let minutes = 90usize;
+    let series = DynamicWorkload {
+        base: 18_000.0,
+        amplitude: 0.55,
+        period_min: 60.0,
+        burst_prob: 0.03,
+        burst_scale: 1.6,
+        burst_minutes: 3,
+        noise: 0.04,
+        seed: 5,
+    }
+    .series(minutes + 1);
+
+    let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
+        Box::new(Erms::new()),
+        Box::new(Firm::new().with_steps(3).with_down_threshold(0.9)),
+        Box::new(GrandSlam::new()),
+        Box::new(Rhythm::new()),
+    ];
+
+    let mut rows = Vec::new();
+    let mut summary: Vec<(String, f64, f64, f64)> = Vec::new(); // (name, mean containers, violation rate, worst ratio)
+    for scheme in &mut schemes {
+        let mut containers_series = Vec::new();
+        let mut violations = 0usize;
+        let mut worst_ratio: f64 = 0.0;
+        for minute in 1..=minutes {
+            // Plan from the last *detected* workload: one minute of
+            // telemetry lag for the model-driven schemes, three minutes
+            // for Firm — its RL pipeline must first localise the critical
+            // microservice from anomaly signals, the "late detection of
+            // bottleneck microservices" of §6.3.2.
+            let lag = if scheme.name() == "firm" { 3 } else { 1 };
+            let observed = WorkloadVector::uniform(app, series[minute.saturating_sub(lag)]);
+            let plan = plan_static(scheme.as_mut(), app, &observed, itf, 1)
+                .expect("dynamic plan feasible");
+            // Evaluate against the actual workload this minute.
+            let actual = WorkloadVector::uniform(app, series[minute]);
+            let (_, ratio) = evaluate_plan(app, &plan, &actual, itf, 0.3);
+            containers_series.push(plan.total_containers() as f64);
+            if ratio > 1.0 {
+                violations += 1;
+            }
+            worst_ratio = worst_ratio.max(ratio);
+            if minute % 15 == 0 && scheme.name() == "erms" {
+                rows.push(vec![
+                    format!("minute {minute}"),
+                    format!("{:.0} req/min", series[minute].as_per_minute()),
+                    format!("{:.0}", plan.total_containers()),
+                    format!("{ratio:.2}"),
+                ]);
+            }
+        }
+        let mean =
+            containers_series.iter().sum::<f64>() / containers_series.len().max(1) as f64;
+        summary.push((
+            scheme.name().to_string(),
+            mean,
+            violations as f64 / minutes as f64,
+            worst_ratio,
+        ));
+    }
+
+    table::print(
+        "Fig. 13 (Erms trace): workload, containers, latency/SLA over time",
+        &["time", "workload", "containers", "P95/SLA"],
+        &rows,
+    );
+
+    let rows_summary: Vec<Vec<String>> = summary
+        .iter()
+        .map(|(name, mean, viol, worst)| {
+            vec![
+                name.clone(),
+                format!("{mean:.0}"),
+                format!("{:.0}%", viol * 100.0),
+                format!("{worst:.2}"),
+            ]
+        })
+        .collect();
+    table::print(
+        "Fig. 13 summary per scheme",
+        &["scheme", "mean containers", "minutes violated", "worst P95/SLA"],
+        &rows_summary,
+    );
+
+    let find = |name: &str| summary.iter().find(|(n, ..)| n == name).cloned().unwrap();
+    let (_, erms_mean, erms_viol, _) = find("erms");
+    let (_, firm_mean, _, firm_worst) = find("firm");
+    let (_, gs_mean, ..) = find("grandslam");
+    let (_, r_mean, ..) = find("rhythm");
+
+    let best_baseline = firm_mean.min(gs_mean).min(r_mean);
+    table::claim(
+        "container savings under dynamic workload",
+        "up to 30% on average",
+        &format!("{:.0}%", (1.0 - erms_mean / best_baseline) * 100.0),
+        erms_mean < best_baseline,
+    );
+    table::claim(
+        "Erms satisfies the SLA throughout",
+        "no violations even when workload grows quickly",
+        &format!("{:.0}% of minutes violated", erms_viol * 100.0),
+        erms_viol <= 0.05,
+    );
+    table::claim(
+        "Firm violates at workload peaks",
+        "up to 50% over SLA",
+        &format!("worst Firm P95/SLA = {firm_worst:.2}"),
+        firm_worst > 1.05,
+    );
+    let _ = RequestRate::per_minute(0.0);
+}

@@ -1,0 +1,194 @@
+//! Fig. 15 — benefit of interference-aware provisioning (§5.4, §6.4.3).
+//!
+//! iBench-like background load is injected on half of the hosts. The
+//! Kubernetes default scheduler spreads containers by *requested*
+//! resources and cannot see that background load, so containers land on
+//! busy hosts and experience heavy interference; Erms' provisioning
+//! balances *actual* utilisation. Paper: K8s needs >50 % more containers
+//! to satisfy the SLA (up to 2× at high SLA), and at equal resources Erms
+//! improves latency by ~1.2× on average, up to 2.2× under high
+//! interference.
+
+use std::collections::BTreeMap;
+
+use erms_bench::table;
+use erms_core::app::{App, RequestRate, WorkloadVector};
+use erms_core::autoscaler::ScalingPlan;
+use erms_core::evaluate::service_latency;
+use erms_core::ids::MicroserviceId;
+use erms_core::latency::Interference;
+use erms_core::manager::ErmsScaler;
+use erms_core::provisioning::{provision, ClusterState, PlacementPolicy};
+use erms_workload::apps::social_network;
+use erms_workload::interference::{inject, InterferenceLevel};
+
+/// Places `plan` scaled by `factor` under `policy` on a fresh cluster with
+/// the given interference level, then returns the per-microservice
+/// interference map the placement induces.
+fn place(
+    app: &App,
+    plan: &ScalingPlan,
+    factor: f64,
+    policy: PlacementPolicy,
+    level: InterferenceLevel,
+) -> Option<BTreeMap<MicroserviceId, Interference>> {
+    let mut state = ClusterState::paper_cluster();
+    inject(&mut state, level, 0.5);
+    let mut scaled = ScalingPlan::new(plan.scheme.clone());
+    for (ms, n) in plan.iter() {
+        scaled.set_containers(ms, ((n as f64) * factor).ceil() as u32);
+    }
+    for ms in plan.microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            scaled.set_priority_order(ms, order.to_vec());
+        }
+    }
+    provision(&mut state, app, &scaled, policy).ok()?;
+    Some(
+        app.microservices()
+            .map(|(ms, _)| (ms, state.microservice_interference(app, ms)))
+            .collect(),
+    )
+}
+
+/// Whether all SLAs hold for the plan scaled by `factor` under the
+/// placement-induced interference.
+fn slas_hold(
+    app: &App,
+    plan: &ScalingPlan,
+    workloads: &WorkloadVector,
+    factor: f64,
+    policy: PlacementPolicy,
+    level: InterferenceLevel,
+) -> bool {
+    let Some(itf_map) = place(app, plan, factor, policy, level) else {
+        return false;
+    };
+    let mut scaled = ScalingPlan::new(plan.scheme.clone());
+    for (ms, n) in plan.iter() {
+        scaled.set_containers(ms, ((n as f64) * factor).ceil() as u32);
+    }
+    for ms in plan.microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            scaled.set_priority_order(ms, order.to_vec());
+        }
+    }
+    app.services().all(|(sid, svc)| {
+        service_latency(app, &scaled, workloads, sid, &itf_map)
+            .map(|l| l <= svc.sla.threshold_ms + 1e-6)
+            .unwrap_or(false)
+    })
+}
+
+/// Minimal scale factor (containers multiplier) meeting all SLAs.
+fn min_factor(
+    app: &App,
+    plan: &ScalingPlan,
+    workloads: &WorkloadVector,
+    policy: PlacementPolicy,
+    level: InterferenceLevel,
+) -> f64 {
+    let mut lo = 0.5;
+    let mut hi = 1.0;
+    while !slas_hold(app, plan, workloads, hi, policy, level) && hi < 16.0 {
+        lo = hi;
+        hi *= 1.5;
+    }
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        if slas_hold(app, plan, workloads, mid, policy, level) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+fn main() {
+    let bench = social_network(150.0);
+    let app = &bench.app;
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(20_000.0));
+
+    let levels = [
+        InterferenceLevel::CpuModerate,
+        InterferenceLevel::CpuHeavy,
+        InterferenceLevel::MemHeavy,
+        InterferenceLevel::Mixed,
+    ];
+
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut k8s_overhead = Vec::new();
+    let mut latency_gain = Vec::new();
+    for level in levels {
+        // Base plan computed at the post-injection cluster-average
+        // interference (what the Erms controller would observe).
+        let mut probe = ClusterState::paper_cluster();
+        inject(&mut probe, level, 0.5);
+        let avg_itf = probe.average_interference(app);
+        let plan = ErmsScaler::new(app).plan(&w, avg_itf).expect("feasible");
+        let base_total = plan.total_containers();
+
+        let f_erms = min_factor(app, &plan, &w, PlacementPolicy::default(), level);
+        let f_k8s = min_factor(app, &plan, &w, PlacementPolicy::KubernetesDefault, level);
+        let erms_containers = (base_total as f64 * f_erms).ceil();
+        let k8s_containers = (base_total as f64 * f_k8s).ceil();
+        k8s_overhead.push(k8s_containers / erms_containers);
+        rows_a.push(vec![
+            level.label().to_string(),
+            format!("{erms_containers:.0}"),
+            format!("{k8s_containers:.0}"),
+            format!("{:.0}%", (k8s_containers / erms_containers - 1.0) * 100.0),
+        ]);
+
+        // (b) Equal resources: latency under both placements.
+        let per_service = |policy| -> f64 {
+            let itf_map = place(app, &plan, 1.0, policy, level).expect("placement fits");
+            let mut total = 0.0;
+            let mut count = 0;
+            for (sid, _) in app.services() {
+                total +=
+                    service_latency(app, &plan, &w, sid, &itf_map).unwrap_or(f64::INFINITY);
+                count += 1;
+            }
+            total / count as f64
+        };
+        let l_erms = per_service(PlacementPolicy::default());
+        let l_k8s = per_service(PlacementPolicy::KubernetesDefault);
+        latency_gain.push(l_k8s / l_erms);
+        rows_b.push(vec![
+            level.label().to_string(),
+            format!("{l_erms:.1}"),
+            format!("{l_k8s:.1}"),
+            format!("{:.2}x", l_k8s / l_erms),
+        ]);
+    }
+
+    table::print(
+        "Fig. 15(a): containers to satisfy SLAs (interference-aware vs K8s default)",
+        &["interference", "Erms provisioning", "K8s default", "K8s overhead"],
+        &rows_a,
+    );
+    table::print(
+        "Fig. 15(b): mean end-to-end latency at equal resources (ms)",
+        &["interference", "Erms provisioning", "K8s default", "improvement"],
+        &rows_b,
+    );
+
+    let max_overhead = k8s_overhead.iter().cloned().fold(0.0, f64::max);
+    table::claim(
+        "K8s default needs more containers than interference-aware placement",
+        ">50% more (up to 2x at high SLA)",
+        &format!("up to {:.0}% more", (max_overhead - 1.0) * 100.0),
+        max_overhead > 1.1,
+    );
+    let mean_gain = latency_gain.iter().sum::<f64>() / latency_gain.len() as f64;
+    let max_gain = latency_gain.iter().cloned().fold(0.0, f64::max);
+    table::claim(
+        "latency improvement at equal resources",
+        "~1.2x average, up to 2.2x under high interference",
+        &format!("mean {:.2}x, max {:.2}x", mean_gain, max_gain),
+        mean_gain > 1.02,
+    );
+}

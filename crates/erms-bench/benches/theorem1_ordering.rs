@@ -1,0 +1,102 @@
+//! Theorem 1 (Appendix A) — the resource usage of Erms' priority
+//! scheduling is at most that of the non-sharing partitioning, which is at
+//! most that of FCFS sharing, in the symmetric-slack setting analysed in
+//! the appendix (`SLA₁ − b_u − b_p = SLA₂ − b_h − b_p`).
+//!
+//! This harness validates the ordering over many random scenario
+//! parameterisations, reports the average gaps, and checks the equality
+//! condition (`a_u·R_u = a_h·R_h` closes the non-sharing/FCFS gap).
+
+use erms_bench::table;
+use erms_core::multiplexing::SharingScenario;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn random_scenario(rng: &mut impl Rng) -> SharingScenario {
+    let b_u = rng.gen_range(0.5..5.0);
+    let b_h = rng.gen_range(0.5..5.0);
+    let b_p = rng.gen_range(0.5..5.0);
+    let slack = rng.gen_range(50.0..400.0);
+    SharingScenario {
+        u: (rng.gen_range(0.005..0.1), b_u, rng.gen_range(0.05..0.3)),
+        h: (rng.gen_range(0.005..0.1), b_h, rng.gen_range(0.05..0.3)),
+        p: (rng.gen_range(0.005..0.1), b_p, rng.gen_range(0.05..0.3)),
+        gamma1: rng.gen_range(1_000.0..80_000.0),
+        gamma2: rng.gen_range(1_000.0..80_000.0),
+        // Symmetric slack: SLA_k = slack + b_k + b_p.
+        sla1: slack + b_u + b_p,
+        sla2: slack + b_h + b_p,
+    }
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let trials = 5_000;
+    let mut ordering_holds = 0usize;
+    let mut prio_vs_fcfs = Vec::new();
+    let mut nonshare_vs_fcfs = Vec::new();
+    let mut bound_holds = 0usize;
+    for _ in 0..trials {
+        let s = random_scenario(&mut rng);
+        let Some(cmp) = s.compare() else { continue };
+        if cmp.priority <= cmp.non_sharing + 1e-6 * cmp.non_sharing
+            && cmp.non_sharing <= cmp.sharing_fcfs + 1e-6 * cmp.sharing_fcfs
+        {
+            ordering_holds += 1;
+        }
+        prio_vs_fcfs.push(1.0 - cmp.priority / cmp.sharing_fcfs);
+        nonshare_vs_fcfs.push(1.0 - cmp.non_sharing / cmp.sharing_fcfs);
+        if let Some(bound) = s.ru_priority_upper_bound() {
+            if cmp.priority <= bound + 1e-6 * bound {
+                bound_holds += 1;
+            }
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    table::print(
+        "Theorem 1: RU(priority) <= RU(non-sharing) <= RU(FCFS sharing)",
+        &["quantity", "value"],
+        &[
+            vec!["random scenarios".into(), trials.to_string()],
+            vec![
+                "ordering holds".into(),
+                format!("{ordering_holds}/{}", prio_vs_fcfs.len()),
+            ],
+            vec![
+                "mean savings, priority vs FCFS".into(),
+                format!("{:.1}%", mean(&prio_vs_fcfs) * 100.0),
+            ],
+            vec![
+                "mean savings, non-sharing vs FCFS".into(),
+                format!("{:.1}%", mean(&nonshare_vs_fcfs) * 100.0),
+            ],
+            vec![
+                "Eq. (19) upper bound holds".into(),
+                format!("{bound_holds}/{}", prio_vs_fcfs.len()),
+            ],
+        ],
+    );
+
+    table::claim(
+        "Theorem 1 ordering across random scenarios",
+        "always holds (symmetric slack)",
+        &format!("{ordering_holds}/{}", prio_vs_fcfs.len()),
+        ordering_holds == prio_vs_fcfs.len(),
+    );
+
+    // Equality condition: a_u R_u = a_h R_h -> non-sharing == FCFS.
+    let mut s = random_scenario(&mut rng);
+    s.h.0 = s.u.0;
+    s.h.2 = s.u.2;
+    s.h.1 = s.u.1;
+    s.sla2 = s.sla1;
+    let cmp = s.compare().expect("feasible");
+    let gap = (cmp.sharing_fcfs - cmp.non_sharing).abs() / cmp.sharing_fcfs;
+    table::claim(
+        "equality condition a_u·R_u = a_h·R_h",
+        "non-sharing equals FCFS sharing",
+        &format!("relative gap {:.4}", gap),
+        gap < 1e-2,
+    );
+}

@@ -1,0 +1,170 @@
+//! Plan deltas: the concrete scale-out / scale-in actions the Deployment
+//! module (Fig. 6 ⑥→Kubernetes) must execute to move from one
+//! [`ScalingPlan`] to the next.
+//!
+//! The Online Scaling module emits absolute container counts every round;
+//! an orchestrator consumes *differences*. [`PlanDelta::between`] computes
+//! them, and the summary accessors answer the questions a rollout
+//! controller asks: how much churn, how many pods to create and delete,
+//! does anything change at all.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::autoscaler::ScalingPlan;
+use crate::ids::MicroserviceId;
+
+/// One scaling action for one microservice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Create this many additional containers.
+    ScaleOut(u32),
+    /// Remove this many containers.
+    ScaleIn(u32),
+}
+
+impl Action {
+    /// The number of containers touched by the action.
+    pub fn magnitude(self) -> u32 {
+        match self {
+            Action::ScaleOut(n) | Action::ScaleIn(n) => n,
+        }
+    }
+}
+
+/// The difference between two scaling plans.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlanDelta {
+    actions: BTreeMap<MicroserviceId, Action>,
+}
+
+impl PlanDelta {
+    /// Computes the actions that transform `from` into `to`.
+    ///
+    /// Microservices absent from a plan count as zero containers, so a
+    /// fresh rollout is simply `PlanDelta::between(&ScalingPlan::new(""), &plan)`.
+    pub fn between(from: &ScalingPlan, to: &ScalingPlan) -> Self {
+        let mut actions = BTreeMap::new();
+        let mut all: Vec<MicroserviceId> = from.microservices().chain(to.microservices()).collect();
+        all.sort();
+        all.dedup();
+        for ms in all {
+            let before = from.containers(ms);
+            let after = to.containers(ms);
+            if after > before {
+                actions.insert(ms, Action::ScaleOut(after - before));
+            } else if before > after {
+                actions.insert(ms, Action::ScaleIn(before - after));
+            }
+        }
+        Self { actions }
+    }
+
+    /// Whether the two plans are identical in container counts.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Number of microservices whose allocation changes.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The action for one microservice, if its count changes.
+    pub fn action(&self, ms: MicroserviceId) -> Option<Action> {
+        self.actions.get(&ms).copied()
+    }
+
+    /// Iterates over `(microservice, action)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (MicroserviceId, Action)> + '_ {
+        self.actions.iter().map(|(&m, &a)| (m, a))
+    }
+
+    /// Total containers created.
+    pub fn total_scale_out(&self) -> u64 {
+        self.actions
+            .values()
+            .map(|a| match a {
+                Action::ScaleOut(n) => *n as u64,
+                Action::ScaleIn(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Total containers removed.
+    pub fn total_scale_in(&self) -> u64 {
+        self.actions
+            .values()
+            .map(|a| match a {
+                Action::ScaleIn(n) => *n as u64,
+                Action::ScaleOut(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Total churn (created + removed) — the rollout cost of the round.
+    /// Containers take seconds to start (§6.5.2), so controllers compare
+    /// this against the scaling interval.
+    pub fn churn(&self) -> u64 {
+        self.total_scale_out() + self.total_scale_in()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(i: u32) -> MicroserviceId {
+        MicroserviceId::new(i)
+    }
+
+    fn plan(counts: &[(u32, u32)]) -> ScalingPlan {
+        let mut p = ScalingPlan::new("t");
+        for &(m, n) in counts {
+            p.set_containers(ms(m), n);
+        }
+        p
+    }
+
+    #[test]
+    fn delta_classifies_out_and_in() {
+        let from = plan(&[(0, 5), (1, 3), (2, 7)]);
+        let to = plan(&[(0, 8), (1, 3), (2, 2)]);
+        let delta = PlanDelta::between(&from, &to);
+        assert_eq!(delta.action(ms(0)), Some(Action::ScaleOut(3)));
+        assert_eq!(delta.action(ms(1)), None);
+        assert_eq!(delta.action(ms(2)), Some(Action::ScaleIn(5)));
+        assert_eq!(delta.total_scale_out(), 3);
+        assert_eq!(delta.total_scale_in(), 5);
+        assert_eq!(delta.churn(), 8);
+        assert_eq!(delta.len(), 2);
+    }
+
+    #[test]
+    fn fresh_rollout_is_all_scale_out() {
+        let to = plan(&[(0, 4), (1, 2)]);
+        let delta = PlanDelta::between(&ScalingPlan::new("empty"), &to);
+        assert_eq!(delta.total_scale_out(), 6);
+        assert_eq!(delta.total_scale_in(), 0);
+    }
+
+    #[test]
+    fn identical_plans_have_empty_delta() {
+        let a = plan(&[(0, 4)]);
+        let delta = PlanDelta::between(&a, &a.clone());
+        assert!(delta.is_empty());
+        assert_eq!(delta.churn(), 0);
+    }
+
+    #[test]
+    fn microservices_absent_from_new_plan_are_drained() {
+        let from = plan(&[(0, 4)]);
+        let to = plan(&[(1, 2)]);
+        let delta = PlanDelta::between(&from, &to);
+        assert_eq!(delta.action(ms(0)), Some(Action::ScaleIn(4)));
+        assert_eq!(delta.action(ms(1)), Some(Action::ScaleOut(2)));
+        assert_eq!(delta.iter().count(), 2);
+        assert_eq!(Action::ScaleIn(4).magnitude(), 4);
+    }
+}

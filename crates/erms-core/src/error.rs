@@ -1,0 +1,117 @@
+//! Error types shared across the Erms workspace.
+
+use std::fmt;
+
+use crate::ids::{MicroserviceId, ServiceId};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by Erms core algorithms.
+///
+/// Every public fallible function in this crate returns [`Error`]. The
+/// variants carry enough context to diagnose which service or microservice
+/// made a request infeasible.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The SLA of a service is smaller than the sum of unavoidable latency
+    /// intercepts along its worst path, so no finite container allocation can
+    /// satisfy it.
+    SlaInfeasible {
+        /// Service whose SLA cannot be met.
+        service: ServiceId,
+        /// The SLA threshold requested, in milliseconds.
+        sla_ms: f64,
+        /// The minimum achievable end-to-end latency (sum of intercepts on
+        /// the worst path), in milliseconds.
+        floor_ms: f64,
+    },
+    /// A service dependency graph has no nodes.
+    EmptyGraph {
+        /// The offending service.
+        service: ServiceId,
+    },
+    /// A microservice id does not exist in the application.
+    UnknownMicroservice(MicroserviceId),
+    /// A service id does not exist in the application.
+    UnknownService(ServiceId),
+    /// A latency profile has invalid parameters (negative slope, NaN, …).
+    InvalidProfile {
+        /// The offending microservice.
+        microservice: MicroserviceId,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A workload, multiplicity, resource size or other numeric argument was
+    /// not finite and positive where required.
+    InvalidParameter(String),
+    /// No workload was supplied for a service that must be scaled.
+    MissingWorkload(ServiceId),
+    /// The provisioner was asked to place more containers than the cluster
+    /// can hold.
+    InsufficientCapacity {
+        /// CPU cores requested.
+        requested_cpu: f64,
+        /// CPU cores available.
+        available_cpu: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SlaInfeasible {
+                service,
+                sla_ms,
+                floor_ms,
+            } => write!(
+                f,
+                "SLA of {sla_ms} ms for service {service} is below the latency floor of {floor_ms} ms"
+            ),
+            Error::EmptyGraph { service } => {
+                write!(f, "dependency graph of service {service} is empty")
+            }
+            Error::UnknownMicroservice(id) => write!(f, "unknown microservice {id}"),
+            Error::UnknownService(id) => write!(f, "unknown service {id}"),
+            Error::InvalidProfile {
+                microservice,
+                reason,
+            } => write!(f, "invalid latency profile for {microservice}: {reason}"),
+            Error::InvalidParameter(reason) => write!(f, "invalid parameter: {reason}"),
+            Error::MissingWorkload(id) => write!(f, "no workload supplied for service {id}"),
+            Error::InsufficientCapacity {
+                requested_cpu,
+                available_cpu,
+            } => write!(
+                f,
+                "placement requires {requested_cpu} CPU cores but only {available_cpu} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let err = Error::SlaInfeasible {
+            service: ServiceId::new(3),
+            sla_ms: 50.0,
+            floor_ms: 80.0,
+        };
+        let text = err.to_string();
+        assert!(text.contains("50"));
+        assert!(text.contains("80"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,380 @@
+//! The Erms controller (§3, Fig. 6): Online Scaling plus Resource
+//! Provisioning.
+//!
+//! [`ErmsScaler`] implements the Online Scaling module. In
+//! [`SchedulingMode::Priority`] (the full Erms design) it:
+//!
+//! 1. computes *initial* latency targets per service with each service's
+//!    own workloads ([`plan_service`]);
+//! 2. derives service priorities at every shared microservice from those
+//!    targets ([`assign_priorities`]);
+//! 3. recomputes targets per service with the priority-modified cumulative
+//!    workloads ([`cumulative_workloads`]), calling Latency Target
+//!    Computation exactly twice per dependency graph as in §5.3.3;
+//! 4. sizes each microservice to the maximum per-service container demand
+//!    and rounds up (§7).
+//!
+//! [`SchedulingMode::Fcfs`] is the Latency-Target-Computation-only variant
+//! evaluated in Fig. 14(a): no priorities, every service models the total
+//! arrival stream at shared microservices (Eq. 16).
+//!
+//! [`ErmsManager`] closes the loop against a [`ClusterState`]: it reads the
+//! cluster-average interference, plans, and provisions — one scaling round
+//! of the periodic controller.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::{App, WorkloadVector};
+use crate::autoscaler::{Autoscaler, ScalingContext, ScalingPlan};
+use crate::error::Result;
+use crate::ids::{MicroserviceId, ServiceId};
+use crate::latency::Interference;
+use crate::multiplexing::{assign_priorities, cumulative_workloads, total_workloads};
+use crate::provisioning::{provision, ClusterState, PlacementPolicy, ProvisionReport};
+use crate::scaling::{own_workloads, plan_service, ScalerConfig, ServicePlan};
+
+/// How requests from different services are ordered at shared
+/// microservices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulingMode {
+    /// Erms priority scheduling (§4.3/§5.3.2) — the full design.
+    #[default]
+    Priority,
+    /// First-come-first-serve at shared microservices; latency targets are
+    /// still computed optimally (the Fig. 14(a) ablation).
+    Fcfs,
+}
+
+/// The Erms Online Scaling module bound to an application.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct ErmsScaler<'a> {
+    app: &'a App,
+    config: ScalerConfig,
+    mode: SchedulingMode,
+}
+
+impl<'a> ErmsScaler<'a> {
+    /// Creates a scaler in full priority mode with default configuration.
+    pub fn new(app: &'a App) -> Self {
+        Self {
+            app,
+            config: ScalerConfig::default(),
+            mode: SchedulingMode::Priority,
+        }
+    }
+
+    /// Overrides the scheduling mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: SchedulingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: ScalerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Computes a scaling plan for the observed workloads and cluster
+    /// interference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SlaInfeasible`](crate::Error::SlaInfeasible) when a
+    /// service's SLA cannot be met by any allocation.
+    pub fn plan(&self, workloads: &WorkloadVector, itf: Interference) -> Result<ScalingPlan> {
+        erms_plan(self.app, workloads, itf, &self.config, self.mode)
+    }
+}
+
+/// Computes an Erms scaling plan (free-function form used by the
+/// [`Autoscaler`] implementation).
+pub fn erms_plan(
+    app: &App,
+    workloads: &WorkloadVector,
+    itf: Interference,
+    config: &ScalerConfig,
+    mode: SchedulingMode,
+) -> Result<ScalingPlan> {
+    let mut plan = ScalingPlan::new(match mode {
+        SchedulingMode::Priority => "erms",
+        SchedulingMode::Fcfs => "erms-fcfs",
+    });
+
+    // First Latency Target Computation pass: per-service targets with each
+    // service's own workloads.
+    let mut initial: BTreeMap<ServiceId, ServicePlan> = BTreeMap::new();
+    for (sid, _) in app.services() {
+        let rate = workloads.rate(sid);
+        let eff = own_workloads(app, sid, rate)?;
+        initial.insert(sid, plan_service(app, sid, rate, &eff, itf, config)?);
+    }
+
+    // Priority assignment at shared microservices (§5.3.2).
+    let priorities = match mode {
+        SchedulingMode::Priority => assign_priorities(app, &initial),
+        SchedulingMode::Fcfs => BTreeMap::new(),
+    };
+
+    // Second pass with modified workloads; track the max demand per
+    // microservice across services.
+    let mut demand: BTreeMap<MicroserviceId, f64> = BTreeMap::new();
+    for (sid, _) in app.services() {
+        let rate = workloads.rate(sid);
+        let eff = match mode {
+            SchedulingMode::Priority => cumulative_workloads(app, sid, workloads, &priorities)?,
+            SchedulingMode::Fcfs => total_workloads(app, sid, workloads)?,
+        };
+        let sp = plan_service(app, sid, rate, &eff, itf, config)?;
+        for (&ms, &n) in &sp.ms_containers {
+            demand
+                .entry(ms)
+                .and_modify(|d| *d = d.max(n))
+                .or_insert(n);
+        }
+        plan.set_service_plan(sp);
+    }
+
+    // Round up to integral containers (§7).
+    for (ms, n) in demand {
+        let count = if n <= 0.0 { 0 } else { n.ceil().max(1.0) as u32 };
+        plan.set_containers(ms, count);
+    }
+    for (ms, order) in priorities {
+        plan.set_priority_order(ms, order);
+    }
+    Ok(plan)
+}
+
+/// Erms as an [`Autoscaler`] for scheme comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct Erms {
+    /// Scheduling mode at shared microservices.
+    pub mode: SchedulingMode,
+}
+
+impl Erms {
+    /// Full Erms (priority scheduling).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The Latency-Target-Computation-only ablation (FCFS at shared
+    /// microservices, Fig. 14a).
+    pub fn fcfs() -> Self {
+        Self {
+            mode: SchedulingMode::Fcfs,
+        }
+    }
+}
+
+impl Autoscaler for Erms {
+    fn name(&self) -> &str {
+        match self.mode {
+            SchedulingMode::Priority => "erms",
+            SchedulingMode::Fcfs => "erms-fcfs",
+        }
+    }
+
+    fn plan(&mut self, ctx: &ScalingContext<'_>) -> Result<ScalingPlan> {
+        erms_plan(ctx.app, ctx.workloads, ctx.interference, ctx.config, self.mode)
+    }
+}
+
+/// One full controller round: observe interference, plan, provision.
+#[derive(Debug)]
+pub struct ErmsManager<'a> {
+    app: &'a App,
+    config: ScalerConfig,
+    mode: SchedulingMode,
+    placement: PlacementPolicy,
+}
+
+/// The outcome of one [`ErmsManager::run_round`] invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// The plan that was applied.
+    pub plan: ScalingPlan,
+    /// The interference observed before scaling.
+    pub observed_interference: Interference,
+    /// Placement summary.
+    pub provision: ProvisionReport,
+}
+
+impl<'a> ErmsManager<'a> {
+    /// Creates a manager with default configuration (priority scheduling,
+    /// whole-cluster interference-aware placement).
+    pub fn new(app: &'a App) -> Self {
+        Self {
+            app,
+            config: ScalerConfig::default(),
+            mode: SchedulingMode::Priority,
+            placement: PlacementPolicy::default(),
+        }
+    }
+
+    /// Overrides the placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Overrides the scheduling mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: SchedulingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the scaler configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: ScalerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs one periodic scaling round against the cluster: reads the
+    /// cluster-average interference (§5.3.1), computes a plan, and places /
+    /// releases containers (§5.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and placement failures
+    /// ([`Error::SlaInfeasible`](crate::Error::SlaInfeasible),
+    /// [`Error::InsufficientCapacity`](crate::Error::InsufficientCapacity)).
+    pub fn run_round(
+        &self,
+        state: &mut ClusterState,
+        workloads: &WorkloadVector,
+    ) -> Result<RoundOutcome> {
+        let itf = state.average_interference(self.app);
+        let plan = erms_plan(self.app, workloads, itf, &self.config, self.mode)?;
+        let provision = provision(state, self.app, &plan, self.placement)?;
+        Ok(RoundOutcome {
+            plan,
+            observed_interference: itf,
+            provision,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppBuilder, RequestRate, Sla};
+    use crate::evaluate::plan_meets_slas;
+    use crate::latency::LatencyProfile;
+    use crate::resources::Resources;
+
+    fn sharing_app() -> (App, [MicroserviceId; 3], [ServiceId; 2]) {
+        let mut b = AppBuilder::new("fig5");
+        let u = b.microservice("U", LatencyProfile::linear(0.08, 3.0), Resources::default());
+        let h = b.microservice("H", LatencyProfile::linear(0.02, 3.0), Resources::default());
+        let p = b.microservice("P", LatencyProfile::linear(0.03, 2.0), Resources::default());
+        let s1 = b.service("svc1", Sla::p95_ms(300.0), |g| {
+            let root = g.entry(u);
+            g.call_seq(root, p);
+        });
+        let s2 = b.service("svc2", Sla::p95_ms(300.0), |g| {
+            let root = g.entry(h);
+            g.call_seq(root, p);
+        });
+        (b.build().unwrap(), [u, h, p], [s1, s2])
+    }
+
+    #[test]
+    fn priority_plan_meets_slas_in_model() {
+        let (app, _, _) = sharing_app();
+        let w = WorkloadVector::uniform(&app, RequestRate::per_minute(40_000.0));
+        let plan = ErmsScaler::new(&app).plan(&w, Interference::default()).unwrap();
+        assert!(plan_meets_slas(&app, &plan, &w, &Interference::default()).unwrap());
+        assert!(plan.has_priorities());
+    }
+
+    #[test]
+    fn fcfs_plan_meets_slas_in_model() {
+        let (app, _, _) = sharing_app();
+        let w = WorkloadVector::uniform(&app, RequestRate::per_minute(40_000.0));
+        let plan = ErmsScaler::new(&app)
+            .with_mode(SchedulingMode::Fcfs)
+            .plan(&w, Interference::default())
+            .unwrap();
+        assert!(plan_meets_slas(&app, &plan, &w, &Interference::default()).unwrap());
+        assert!(!plan.has_priorities());
+    }
+
+    #[test]
+    fn priority_saves_resources_over_fcfs() {
+        // The §2.3 observation: priority scheduling needs fewer containers
+        // than FCFS sharing for the same SLAs.
+        let (app, _, _) = sharing_app();
+        let w = WorkloadVector::uniform(&app, RequestRate::per_minute(40_000.0));
+        let itf = Interference::default();
+        let prio = ErmsScaler::new(&app).plan(&w, itf).unwrap();
+        let fcfs = ErmsScaler::new(&app)
+            .with_mode(SchedulingMode::Fcfs)
+            .plan(&w, itf)
+            .unwrap();
+        assert!(
+            prio.total_containers() <= fcfs.total_containers(),
+            "priority {} vs fcfs {}",
+            prio.total_containers(),
+            fcfs.total_containers()
+        );
+    }
+
+    #[test]
+    fn zero_workload_plans_zero_containers() {
+        let (app, [u, _, p], _) = sharing_app();
+        let w = WorkloadVector::new();
+        let plan = ErmsScaler::new(&app).plan(&w, Interference::default()).unwrap();
+        assert_eq!(plan.containers(u), 0);
+        assert_eq!(plan.containers(p), 0);
+        assert_eq!(plan.total_containers(), 0);
+    }
+
+    #[test]
+    fn autoscaler_trait_round_trip() {
+        let (app, _, _) = sharing_app();
+        let w = WorkloadVector::uniform(&app, RequestRate::per_minute(10_000.0));
+        let config = ScalerConfig::default();
+        let ctx = ScalingContext {
+            app: &app,
+            workloads: &w,
+            interference: Interference::default(),
+            config: &config,
+        };
+        let mut erms = Erms::new();
+        assert_eq!(erms.name(), "erms");
+        let plan = Autoscaler::plan(&mut erms, &ctx).unwrap();
+        assert!(plan.total_containers() > 0);
+        let mut fcfs = Erms::fcfs();
+        assert_eq!(fcfs.name(), "erms-fcfs");
+        assert!(Autoscaler::plan(&mut fcfs, &ctx).is_ok());
+    }
+
+    #[test]
+    fn manager_round_places_containers() {
+        let (app, _, _) = sharing_app();
+        let mut state = ClusterState::paper_cluster();
+        let w = WorkloadVector::uniform(&app, RequestRate::per_minute(20_000.0));
+        let manager = ErmsManager::new(&app);
+        let outcome = manager.run_round(&mut state, &w).unwrap();
+        assert!(outcome.provision.placed > 0);
+        assert_eq!(
+            outcome.plan.total_containers(),
+            state.hosts().iter().map(|h| h.container_count() as u64).sum::<u64>()
+        );
+        // Scale down on a second round with lower workload.
+        let w2 = WorkloadVector::uniform(&app, RequestRate::per_minute(2_000.0));
+        let outcome2 = manager.run_round(&mut state, &w2).unwrap();
+        assert!(outcome2.provision.released > 0);
+    }
+}

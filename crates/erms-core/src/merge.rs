@@ -1,0 +1,502 @@
+//! Dependency merge: collapsing a general graph into sequential virtual
+//! microservices (§4.2, Algorithm 1, Figs. 7–8).
+//!
+//! The latency-target allocation of Eq. (5) only applies to a *chain* of
+//! sequentially-executed microservices. Erms therefore merges a tree-shaped
+//! dependency graph bottom-up into *virtual microservices*:
+//!
+//! * **Sequential merge** (Eqs. 6–9): microservices executed one after
+//!   another merge into a virtual microservice with
+//!   `√(a*·R*) = Σ√(aᵢ·Rᵢ)`, `√(a*/R*) = Σ√(aᵢ/Rᵢ)` and `b* = Σ bᵢ`, chosen
+//!   so the virtual node yields the same latency and the same resource usage
+//!   as the optimally-provisioned originals.
+//! * **Parallel merge** (Eqs. 10–12): parallel microservices must receive
+//!   *equal* latency targets at the optimum, and merge into
+//!   `a** = Σ aᵢ`, `b** = max bᵢ`, `R** = Σ nᵢRᵢ / Σ nᵢ` — since the
+//!   container counts `nᵢ` are not known until targets are fixed, we use the
+//!   optimal proportionality `nᵢ ∝ aᵢ` (exact when the intercepts are equal,
+//!   the regime where the paper's `≈` in Eq. 10 is tight), giving
+//!   `R** = Σ aᵢRᵢ / Σ aᵢ`.
+//!
+//! After merging, the whole graph is a single virtual microservice; targets
+//! are then *distributed* back down the merge tree (Fig. 8): a sequential
+//! merge splits its target among children by the closed-form weights of
+//! Eq. (5), and a parallel merge hands every child the same target.
+//!
+//! Call multiplicities are folded into the per-node parameters before
+//! merging (`ã = a·m²`, `b̃ = b·m` for a node invoked `m` times per request,
+//! exact for sequential repeat calls); with `m = 1` everything reduces to
+//! the paper's equations verbatim.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::DependencyGraph;
+use crate::ids::NodeId;
+
+/// Interference-resolved, multiplicity-folded parameters of one (real or
+/// virtual) microservice used by the merge algebra: latency
+/// `L = a·γ_svc/n + b` and per-container dominant resource demand `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VirtualParams {
+    /// Effective slope `ã` with respect to the *service* workload.
+    pub a: f64,
+    /// Effective intercept `b̃` in milliseconds.
+    pub b: f64,
+    /// Dominant resource demand of one container (Eq. 3).
+    pub r: f64,
+}
+
+impl VirtualParams {
+    /// Creates parameters, clamping `a` and `r` positive so the √-algebra
+    /// below stays well-defined. Intercepts may be negative (a steep
+    /// post-knee segment can cross the y-axis below zero).
+    pub fn new(a: f64, b: f64, r: f64) -> Self {
+        Self {
+            a: a.max(1e-12),
+            b,
+            r: r.max(1e-12),
+        }
+    }
+
+    /// Sequential merge of several microservices (Eqs. 7–9, n-ary form).
+    pub fn merge_sequential(parts: &[VirtualParams]) -> VirtualParams {
+        let sqrt_ar: f64 = parts.iter().map(|p| (p.a * p.r).sqrt()).sum();
+        let sqrt_a_over_r: f64 = parts.iter().map(|p| (p.a / p.r).sqrt()).sum();
+        let b: f64 = parts.iter().map(|p| p.b).sum();
+        VirtualParams::new(sqrt_ar * sqrt_a_over_r, b, sqrt_ar / sqrt_a_over_r)
+    }
+
+    /// Parallel merge of several microservices (Eqs. 11–12, with the
+    /// `nᵢ ∝ aᵢ` weighting for `R**` described in the module docs).
+    pub fn merge_parallel(parts: &[VirtualParams]) -> VirtualParams {
+        let a: f64 = parts.iter().map(|p| p.a).sum();
+        let b: f64 = parts
+            .iter()
+            .map(|p| p.b)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(f64::MIN); // empty input degenerates safely
+        let ar: f64 = parts.iter().map(|p| p.a * p.r).sum();
+        VirtualParams::new(a, b, ar / a.max(1e-12))
+    }
+}
+
+/// A node of the merge tree recording how the graph was collapsed.
+///
+/// Distributing latency targets (Fig. 8) reverses the merge by walking this
+/// tree from the root.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeTree {
+    /// A real call node of the original graph.
+    Leaf {
+        /// The original graph node.
+        node: NodeId,
+        /// Its folded parameters.
+        params: VirtualParams,
+    },
+    /// A virtual microservice merging sequentially-executed children.
+    Sequential {
+        /// Merged parameters (Eqs. 7–9).
+        params: VirtualParams,
+        /// The merged children, in execution order.
+        children: Vec<MergeTree>,
+    },
+    /// A virtual microservice merging parallel children.
+    Parallel {
+        /// Merged parameters (Eqs. 11–12).
+        params: VirtualParams,
+        /// The merged children.
+        children: Vec<MergeTree>,
+    },
+}
+
+impl MergeTree {
+    /// The (possibly virtual) parameters of this subtree.
+    pub fn params(&self) -> VirtualParams {
+        match self {
+            MergeTree::Leaf { params, .. }
+            | MergeTree::Sequential { params, .. }
+            | MergeTree::Parallel { params, .. } => *params,
+        }
+    }
+
+    /// Number of real (leaf) microservice call nodes below this subtree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            MergeTree::Leaf { .. } => 1,
+            MergeTree::Sequential { children, .. } | MergeTree::Parallel { children, .. } => {
+                children.iter().map(MergeTree::leaf_count).sum()
+            }
+        }
+    }
+}
+
+/// The result of merging one service's dependency graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedGraph {
+    tree: MergeTree,
+    node_count: usize,
+}
+
+impl MergedGraph {
+    /// Merges a dependency graph given per-node folded parameters
+    /// (indexed by [`NodeId`]).
+    ///
+    /// Each node's subtree is the sequential merge of the node itself with
+    /// the parallel merge of each of its stages, processed bottom-up exactly
+    /// as Algorithm 1's `Merge` of two-tier invocations ("merge parallel
+    /// calls first, sequential calls last").
+    ///
+    /// ```
+    /// use erms_core::graph::GraphBuilder;
+    /// use erms_core::ids::MicroserviceId;
+    /// use erms_core::merge::{MergedGraph, VirtualParams};
+    ///
+    /// // Fig. 7: T calls Url and U in parallel, then C.
+    /// let mut g = GraphBuilder::new();
+    /// let t = g.entry(MicroserviceId::new(0));
+    /// let par = g.call_par(t, &[MicroserviceId::new(1), MicroserviceId::new(2)]);
+    /// let c = g.call_seq(t, MicroserviceId::new(3));
+    /// let graph = g.build().unwrap();
+    ///
+    /// let params = vec![VirtualParams::new(0.02, 1.0, 0.1); 4];
+    /// let merged = MergedGraph::merge(&graph, &params);
+    /// let targets = merged.assign_targets(100.0).expect("feasible");
+    /// // Parallel children receive equal targets (Eq. 10) and every
+    /// // critical path sums exactly to the SLA.
+    /// assert_eq!(targets[par[0].index()], targets[par[1].index()]);
+    /// let path: f64 = targets[t.index()] + targets[par[0].index()] + targets[c.index()];
+    /// assert!((path - 100.0).abs() < 1e-9);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the graph's node count.
+    pub fn merge(graph: &DependencyGraph, params: &[VirtualParams]) -> Self {
+        assert_eq!(
+            params.len(),
+            graph.len(),
+            "one VirtualParams entry required per graph node"
+        );
+        let tree = Self::merge_subtree(graph, graph.root(), params);
+        Self {
+            tree,
+            node_count: graph.len(),
+        }
+    }
+
+    fn merge_subtree(graph: &DependencyGraph, id: NodeId, params: &[VirtualParams]) -> MergeTree {
+        let node = graph.node(id);
+        let own = MergeTree::Leaf {
+            node: id,
+            params: params[id.index()],
+        };
+        if node.stages.is_empty() {
+            return own;
+        }
+        // Merge parallel calls first (Algorithm 1, line 24-27) ...
+        let mut seq_parts: Vec<MergeTree> = vec![own];
+        for stage in &node.stages {
+            let merged_children: Vec<MergeTree> = stage
+                .iter()
+                .map(|&c| Self::merge_subtree(graph, c, params))
+                .collect();
+            if merged_children.len() == 1 {
+                seq_parts.extend(merged_children);
+            } else {
+                let p = VirtualParams::merge_parallel(
+                    &merged_children
+                        .iter()
+                        .map(MergeTree::params)
+                        .collect::<Vec<_>>(),
+                );
+                seq_parts.push(MergeTree::Parallel {
+                    params: p,
+                    children: merged_children,
+                });
+            }
+        }
+        // ... then merge sequential calls (the node plus each stage).
+        let p = VirtualParams::merge_sequential(
+            &seq_parts.iter().map(MergeTree::params).collect::<Vec<_>>(),
+        );
+        MergeTree::Sequential {
+            params: p,
+            children: seq_parts,
+        }
+    }
+
+    /// The merge tree.
+    pub fn tree(&self) -> &MergeTree {
+        &self.tree
+    }
+
+    /// The merged whole-graph parameters — a single virtual microservice
+    /// standing for the entire service.
+    pub fn params(&self) -> VirtualParams {
+        self.tree.params()
+    }
+
+    /// The latency floor: the smallest end-to-end latency achievable with
+    /// unbounded resources (the merged intercept, i.e. the worst path's
+    /// intercept sum).
+    pub fn floor_ms(&self) -> f64 {
+        self.params().b
+    }
+
+    /// Distributes an end-to-end latency budget over all real call nodes
+    /// (Fig. 8), returning per-node targets indexed by [`NodeId`].
+    ///
+    /// Returns `None` when `sla_ms` does not exceed [`floor_ms`](Self::floor_ms)
+    /// (no finite allocation can meet the SLA).
+    ///
+    /// The returned targets satisfy, within the linear model, that the sum
+    /// of targets along every critical path is at most `sla_ms`, with
+    /// equality on the binding path.
+    pub fn assign_targets(&self, sla_ms: f64) -> Option<Vec<f64>> {
+        if !(sla_ms.is_finite() && sla_ms > self.floor_ms()) {
+            return None;
+        }
+        let mut targets = vec![f64::NAN; self.node_count];
+        Self::distribute(&self.tree, sla_ms, &mut targets);
+        Some(targets)
+    }
+
+    fn distribute(tree: &MergeTree, budget: f64, out: &mut [f64]) {
+        match tree {
+            MergeTree::Leaf { node, .. } => {
+                out[node.index()] = budget;
+            }
+            MergeTree::Parallel { children, .. } => {
+                // Optimal parallel targets are equal (Eq. 10).
+                for child in children {
+                    Self::distribute(child, budget, out);
+                }
+            }
+            MergeTree::Sequential { children, .. } => {
+                // Eq. (5): target_i = b_i + w_i · (budget − Σ b_j) with
+                // w_i = √(a_i R_i) / Σ √(a_j R_j); the common workload γ
+                // cancels out of the weights.
+                let total_b: f64 = children.iter().map(|c| c.params().b).sum();
+                let total_w: f64 = children
+                    .iter()
+                    .map(|c| {
+                        let p = c.params();
+                        (p.a * p.r).sqrt()
+                    })
+                    .sum();
+                let slack = budget - total_b;
+                for child in children {
+                    let p = child.params();
+                    let w = (p.a * p.r).sqrt() / total_w;
+                    Self::distribute(child, p.b + w * slack, out);
+                }
+            }
+        }
+    }
+}
+
+/// A two-tier invocation: a call node together with all of its direct
+/// downstream call nodes (§4.2). Exposed for analysis and to mirror the
+/// DFS enumeration of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoTierInvocation {
+    /// The upstream node.
+    pub parent: NodeId,
+    /// Its direct downstream nodes across all stages.
+    pub children: Vec<NodeId>,
+}
+
+/// Enumerates all two-tier invocations of a graph in the bottom-up order in
+/// which Algorithm 1 merges them (deepest invocations first).
+pub fn two_tier_invocations(graph: &DependencyGraph) -> Vec<TwoTierInvocation> {
+    graph
+        .post_order()
+        .into_iter()
+        .filter(|&id| !graph.node(id).stages.is_empty())
+        .map(|id| TwoTierInvocation {
+            parent: id,
+            children: graph.node(id).children().collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ids::MicroserviceId;
+
+    fn ms(i: u32) -> MicroserviceId {
+        MicroserviceId::new(i)
+    }
+
+    fn vp(a: f64, b: f64, r: f64) -> VirtualParams {
+        VirtualParams::new(a, b, r)
+    }
+
+    #[test]
+    fn sequential_merge_matches_eq7_to_eq9() {
+        let u = vp(0.08, 3.0, 0.1);
+        let c = vp(0.02, 1.0, 0.2);
+        let m = VirtualParams::merge_sequential(&[u, c]);
+        let sqrt_ar = (u.a * u.r).sqrt() + (c.a * c.r).sqrt();
+        let sqrt_aor = (u.a / u.r).sqrt() + (c.a / c.r).sqrt();
+        assert!((m.a - sqrt_ar * sqrt_aor).abs() < 1e-12);
+        assert!((m.b - 4.0).abs() < 1e-12);
+        assert!((m.r - sqrt_ar / sqrt_aor).abs() < 1e-12);
+        // Invariant used by Eq. (5): √(a*R*) adds up.
+        assert!(((m.a * m.r).sqrt() - sqrt_ar).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_merge_matches_eq11() {
+        let x = vp(0.05, 2.0, 0.1);
+        let y = vp(0.03, 5.0, 0.3);
+        let m = VirtualParams::merge_parallel(&[x, y]);
+        assert!((m.a - 0.08).abs() < 1e-12);
+        assert!((m.b - 5.0).abs() < 1e-12);
+        let expected_r = (x.a * x.r + y.a * y.r) / (x.a + y.a);
+        assert!((m.r - expected_r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_preserves_resource_usage_of_optimal_chain() {
+        // For a sequential chain at workload γ and SLA T, the optimal
+        // resource usage is (Σ√(a_i γ R_i))² / (T − Σb). The merged single
+        // virtual node must reproduce it: a*γR*/(T−b*) with
+        // a*R* = (Σ√(a_iR_i))². Verify numerically.
+        let parts = [vp(0.08, 3.0, 0.1), vp(0.02, 1.0, 0.2), vp(0.05, 2.0, 0.15)];
+        let gamma = 1000.0;
+        let sla = 120.0;
+        let m = VirtualParams::merge_sequential(&parts);
+        let direct: f64 = {
+            let s: f64 = parts.iter().map(|p| (p.a * gamma * p.r).sqrt()).sum();
+            let b: f64 = parts.iter().map(|p| p.b).sum();
+            s * s / (sla - b)
+        };
+        let merged = m.a * gamma * m.r / (sla - m.b);
+        assert!(
+            (direct - merged).abs() / direct < 1e-9,
+            "direct {direct} vs merged {merged}"
+        );
+    }
+
+    /// Fig. 7 graph: T calls Url ∥ U, then C.
+    fn fig7_graph() -> (DependencyGraph, [NodeId; 4]) {
+        let mut g = GraphBuilder::new();
+        let t = g.entry(ms(0));
+        let par = g.call_par(t, &[ms(1), ms(2)]);
+        let c = g.call_seq(t, ms(3));
+        (g.build().unwrap(), [t, par[0], par[1], c])
+    }
+
+    fn fig7_params() -> Vec<VirtualParams> {
+        vec![
+            vp(0.02, 1.0, 0.1), // T
+            vp(0.04, 2.0, 0.1), // Url
+            vp(0.08, 3.0, 0.1), // U
+            vp(0.03, 1.5, 0.1), // C
+        ]
+    }
+
+    #[test]
+    fn fig7_merge_structure() {
+        let (graph, _) = fig7_graph();
+        let merged = MergedGraph::merge(&graph, &fig7_params());
+        // Root is a sequential merge of [T, parallel(Url, U), C].
+        match merged.tree() {
+            MergeTree::Sequential { children, .. } => {
+                assert_eq!(children.len(), 3);
+                assert!(matches!(children[0], MergeTree::Leaf { .. }));
+                assert!(matches!(children[1], MergeTree::Parallel { .. }));
+                assert!(matches!(children[2], MergeTree::Leaf { .. }));
+            }
+            other => panic!("unexpected root {other:?}"),
+        }
+        assert_eq!(merged.tree().leaf_count(), 4);
+    }
+
+    #[test]
+    fn fig7_targets_sum_to_sla_on_every_path() {
+        let (graph, [t, url, u, c]) = fig7_graph();
+        let merged = MergedGraph::merge(&graph, &fig7_params());
+        let sla = 100.0;
+        let targets = merged.assign_targets(sla).expect("feasible");
+        // Parallel children share the same target.
+        assert!((targets[url.index()] - targets[u.index()]).abs() < 1e-9);
+        // Both critical paths hit the SLA exactly (parallel targets equal).
+        let p1 = targets[t.index()] + targets[u.index()] + targets[c.index()];
+        let p2 = targets[t.index()] + targets[url.index()] + targets[c.index()];
+        assert!((p1 - sla).abs() < 1e-9, "path1 {p1}");
+        assert!((p2 - sla).abs() < 1e-9, "path2 {p2}");
+    }
+
+    #[test]
+    fn targets_exceed_intercepts() {
+        let (graph, _) = fig7_graph();
+        let params = fig7_params();
+        let merged = MergedGraph::merge(&graph, &params);
+        let targets = merged.assign_targets(50.0).expect("feasible");
+        for (i, t) in targets.iter().enumerate() {
+            assert!(
+                *t > params[i].b,
+                "target {t} must exceed intercept {}",
+                params[i].b
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_sla_returns_none() {
+        let (graph, _) = fig7_graph();
+        let merged = MergedGraph::merge(&graph, &fig7_params());
+        // Floor = 1.0 + max(2.0, 3.0) + 1.5 = 5.5.
+        assert!((merged.floor_ms() - 5.5).abs() < 1e-9);
+        assert!(merged.assign_targets(5.5).is_none());
+        assert!(merged.assign_targets(5.0).is_none());
+        assert!(merged.assign_targets(f64::NAN).is_none());
+        assert!(merged.assign_targets(5.6).is_some());
+    }
+
+    #[test]
+    fn single_node_graph_gets_whole_sla() {
+        let mut g = GraphBuilder::new();
+        let root = g.entry(ms(0));
+        let graph = g.build().unwrap();
+        let merged = MergedGraph::merge(&graph, &[vp(0.1, 2.0, 0.1)]);
+        let targets = merged.assign_targets(80.0).unwrap();
+        assert!((targets[root.index()] - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tier_invocations_bottom_up() {
+        let mut g = GraphBuilder::new();
+        let t = g.entry(ms(0));
+        let url = g.call_seq(t, ms(1));
+        let _c = g.call_seq(url, ms(2));
+        let graph = g.build().unwrap();
+        let invs = two_tier_invocations(&graph);
+        assert_eq!(invs.len(), 2);
+        // Deepest first: Url's invocation before T's.
+        assert_eq!(invs[0].parent, url);
+        assert_eq!(invs[1].parent, t);
+        assert_eq!(invs[1].children, vec![url]);
+    }
+
+    #[test]
+    fn more_sensitive_microservice_gets_larger_share() {
+        // Two-node chain; U has 4x the slope of P, equal R and b -> U's
+        // target slack share should be twice P's (√4 = 2), per Eq. (5).
+        let mut g = GraphBuilder::new();
+        let u = g.entry(ms(0));
+        let p = g.call_seq(u, ms(1));
+        let graph = g.build().unwrap();
+        let params = vec![vp(0.08, 0.0, 0.1), vp(0.02, 0.0, 0.1)];
+        let merged = MergedGraph::merge(&graph, &params);
+        let targets = merged.assign_targets(300.0).unwrap();
+        assert!(
+            (targets[u.index()] / targets[p.index()] - 2.0).abs() < 1e-9,
+            "{targets:?}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Convenient re-exports of the most commonly used types.
+//!
+//! ```
+//! use erms_core::prelude::*;
+//! ```
+
+pub use crate::actions::{Action, PlanDelta};
+pub use crate::app::{App, AppBuilder, Microservice, RequestRate, Service, Sla, WorkloadVector};
+pub use crate::autoscaler::{Autoscaler, ScalingContext, ScalingPlan};
+pub use crate::error::{Error, Result};
+pub use crate::evaluate::{
+    all_service_latencies, plan_meets_slas, service_latency, workload_sensitivity,
+};
+pub use crate::graph::{DependencyGraph, GraphBuilder, Node};
+pub use crate::ids::{MicroserviceId, NodeId, ServiceId};
+pub use crate::latency::{
+    CutoffModel, Interference, Interval, LatencyProfile, LinearParams, Segment,
+};
+pub use crate::manager::{Erms, ErmsManager, ErmsScaler, SchedulingMode};
+pub use crate::merge::{MergedGraph, MergeTree, VirtualParams};
+pub use crate::multiplexing::{SharingScenario, SchemeComparison};
+pub use crate::provisioning::{ClusterState, Host, PlacementPolicy};
+pub use crate::resources::{ClusterCapacity, Resources};
+pub use crate::scaling::{
+    allocate_chain, chain_resource_usage, containers_for_profile, containers_for_target,
+    invert_profile, ChainItem, ScalerConfig, ServicePlan,
+};

@@ -1,0 +1,522 @@
+//! Interference-aware resource provisioning (§5.4).
+//!
+//! The *Online Scaling* module decides **how many** containers each
+//! microservice needs; this module decides **where** they run. Containers
+//! of one microservice spread across hosts with different background load
+//! (batch jobs colocated with microservices, §2.1) experience different
+//! interference, unbalancing the performance of supposedly-identical
+//! containers and causing SLA violations. Erms therefore places (and
+//! releases) containers so as to minimise *resource unbalance*: the
+//! deviation of every host's utilisation from the cluster-wide mean.
+//!
+//! Solving the underlying non-linear integer program exactly is NP-hard;
+//! like the paper, we use a greedy descent and optionally partition the
+//! hosts into fixed groups and solve each group independently (the POP
+//! technique [31]), trading a little quality for a large speed-up.
+//!
+//! The [`PlacementPolicy::KubernetesDefault`] baseline reproduces the
+//! stock scheduler the paper compares against (Fig. 15): least-requested
+//! spreading that sees only container *requests* — it is blind to the
+//! background (batch) utilisation that actually causes interference.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::App;
+use crate::autoscaler::ScalingPlan;
+use crate::error::{Error, Result};
+use crate::ids::MicroserviceId;
+use crate::latency::Interference;
+
+/// One physical host: capacity, invisible background (batch) usage, and the
+/// containers currently placed on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// CPU capacity in cores.
+    pub cpu_capacity: f64,
+    /// Memory capacity in MB.
+    pub mem_capacity: f64,
+    /// CPU used by colocated batch jobs (cores) — visible to utilisation
+    /// probes (Prometheus) but *not* to request-based schedulers.
+    pub background_cpu: f64,
+    /// Memory used by colocated batch jobs (MB).
+    pub background_mem: f64,
+    containers: BTreeMap<MicroserviceId, u32>,
+}
+
+impl Host {
+    /// Creates an empty host. The paper's hosts have 32 cores and 64 GB
+    /// (§6.1).
+    pub fn new(cpu_capacity: f64, mem_capacity: f64) -> Self {
+        Self {
+            cpu_capacity,
+            mem_capacity,
+            background_cpu: 0.0,
+            background_mem: 0.0,
+            containers: BTreeMap::new(),
+        }
+    }
+
+    /// A paper-shaped host (32 cores, 64 GB).
+    pub fn paper_host() -> Self {
+        Self::new(32.0, 64.0 * 1024.0)
+    }
+
+    /// Containers of `ms` currently on this host.
+    pub fn containers_of(&self, ms: MicroserviceId) -> u32 {
+        self.containers.get(&ms).copied().unwrap_or(0)
+    }
+
+    /// Total containers on this host.
+    pub fn container_count(&self) -> u32 {
+        self.containers.values().sum()
+    }
+
+    /// CPU and memory consumed by placed containers (by request size).
+    fn container_usage(&self, app: &App) -> (f64, f64) {
+        let mut cpu = 0.0;
+        let mut mem = 0.0;
+        for (&ms, &count) in &self.containers {
+            if let Ok(m) = app.microservice(ms) {
+                cpu += m.resources.cpu * count as f64;
+                mem += m.resources.memory_mb * count as f64;
+            }
+        }
+        (cpu, mem)
+    }
+
+    /// Actual utilisation including background load, as a pair of
+    /// fractions.
+    pub fn utilization(&self, app: &App) -> (f64, f64) {
+        let (cpu, mem) = self.container_usage(app);
+        (
+            ((cpu + self.background_cpu) / self.cpu_capacity).clamp(0.0, 1.0),
+            ((mem + self.background_mem) / self.mem_capacity).clamp(0.0, 1.0),
+        )
+    }
+
+    /// Utilisation from container *requests* only — what the Kubernetes
+    /// default scheduler sees.
+    pub fn requested_utilization(&self, app: &App) -> (f64, f64) {
+        let (cpu, mem) = self.container_usage(app);
+        (
+            (cpu / self.cpu_capacity).clamp(0.0, 1.0),
+            (mem / self.mem_capacity).clamp(0.0, 1.0),
+        )
+    }
+
+    /// The interference containers on this host experience (§5.2 uses host
+    /// CPU and memory utilisation).
+    pub fn interference(&self, app: &App) -> Interference {
+        let (c, m) = self.utilization(app);
+        Interference::new(c, m)
+    }
+}
+
+/// Container placement across a cluster of hosts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    hosts: Vec<Host>,
+}
+
+impl ClusterState {
+    /// Creates a cluster of identical empty hosts.
+    pub fn new(hosts: Vec<Host>) -> Self {
+        Self { hosts }
+    }
+
+    /// The paper's 20-host evaluation cluster (§6.1).
+    pub fn paper_cluster() -> Self {
+        Self::new((0..20).map(|_| Host::paper_host()).collect())
+    }
+
+    /// Read access to the hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Mutable access to the hosts (e.g. to inject background load).
+    pub fn hosts_mut(&mut self) -> &mut [Host] {
+        &mut self.hosts
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the cluster has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Total containers of `ms` across the cluster.
+    pub fn containers_of(&self, ms: MicroserviceId) -> u32 {
+        self.hosts.iter().map(|h| h.containers_of(ms)).sum()
+    }
+
+    /// Cluster-average interference — the value the Online Scaling module
+    /// feeds into the profiling model (§5.3.1).
+    pub fn average_interference(&self, app: &App) -> Interference {
+        if self.hosts.is_empty() {
+            return Interference::new(0.0, 0.0);
+        }
+        let n = self.hosts.len() as f64;
+        let (c, m) = self
+            .hosts
+            .iter()
+            .map(|h| h.utilization(app))
+            .fold((0.0, 0.0), |(ac, am), (c, m)| (ac + c, am + m));
+        Interference::new(c / n, m / n)
+    }
+
+    /// Average interference experienced by the containers of `ms`
+    /// (container-weighted), or the cluster average if it has none.
+    pub fn microservice_interference(&self, app: &App, ms: MicroserviceId) -> Interference {
+        let mut weight = 0.0;
+        let mut cpu = 0.0;
+        let mut mem = 0.0;
+        for h in &self.hosts {
+            let count = h.containers_of(ms) as f64;
+            if count > 0.0 {
+                let (c, m) = h.utilization(app);
+                cpu += c * count;
+                mem += m * count;
+                weight += count;
+            }
+        }
+        if weight > 0.0 {
+            Interference::new(cpu / weight, mem / weight)
+        } else {
+            self.average_interference(app)
+        }
+    }
+
+    /// Resource unbalance (§5.4): the mean squared deviation of host
+    /// utilisation (CPU and memory) from the cluster-wide mean.
+    pub fn unbalance(&self, app: &App) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        let mean = self.average_interference(app);
+        let n = self.hosts.len() as f64;
+        self.hosts
+            .iter()
+            .map(|h| {
+                let (c, m) = h.utilization(app);
+                (c - mean.cpu).powi(2) + (m - mean.memory).powi(2)
+            })
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// Which placement algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Erms' interference-aware placement, with hosts statically divided
+    /// into `groups` equal partitions solved independently (POP [31]).
+    /// `groups = 1` solves the whole cluster at once.
+    InterferenceAware {
+        /// Number of POP partitions (≥ 1).
+        groups: usize,
+    },
+    /// The Kubernetes default scheduler: least-requested spreading, blind
+    /// to background utilisation.
+    KubernetesDefault,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy::InterferenceAware { groups: 1 }
+    }
+}
+
+/// Applies a scaling plan to the cluster: releases surplus containers and
+/// places missing ones according to `policy`. Returns the number of
+/// placements and releases performed.
+///
+/// # Errors
+///
+/// Returns [`Error::InsufficientCapacity`] when the plan requests more CPU
+/// than the cluster can hold (memory is checked the same way through the
+/// placement loop).
+pub fn provision(
+    state: &mut ClusterState,
+    app: &App,
+    plan: &ScalingPlan,
+    policy: PlacementPolicy,
+) -> Result<ProvisionReport> {
+    // Capacity sanity check on CPU.
+    let requested: f64 = plan
+        .iter()
+        .map(|(ms, c)| {
+            app.microservice(ms)
+                .map(|m| m.resources.cpu * c as f64)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    let available: f64 = state
+        .hosts
+        .iter()
+        .map(|h| (h.cpu_capacity - h.background_cpu).max(0.0))
+        .sum();
+    if requested > available {
+        return Err(Error::InsufficientCapacity {
+            requested_cpu: requested,
+            available_cpu: available,
+        });
+    }
+
+    let mut placed = 0u32;
+    let mut released = 0u32;
+
+    // Releases first: free the most-loaded hosts.
+    for (ms, target) in plan.iter() {
+        let mut current = state.containers_of(ms);
+        while current > target {
+            let victim = state
+                .hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.containers_of(ms) > 0)
+                .max_by(|(_, a), (_, b)| {
+                    let (ac, am) = a.utilization(app);
+                    let (bc, bm) = b.utilization(app);
+                    (ac + am).partial_cmp(&(bc + bm)).unwrap()
+                })
+                .map(|(i, _)| i)
+                .expect("containers_of > 0 implies a host has one");
+            let host = &mut state.hosts[victim];
+            let entry = host.containers.get_mut(&ms).expect("victim has container");
+            *entry -= 1;
+            if *entry == 0 {
+                host.containers.remove(&ms);
+            }
+            current -= 1;
+            released += 1;
+        }
+    }
+
+    // Placements.
+    let group_count = match policy {
+        PlacementPolicy::InterferenceAware { groups } => groups.max(1),
+        PlacementPolicy::KubernetesDefault => 1,
+    };
+    let host_count = state.hosts.len();
+    let mut next_group = 0usize;
+    for (ms, target) in plan.iter() {
+        let m = app.microservice(ms)?;
+        let mut current = state.containers_of(ms);
+        while current < target {
+            // Candidate hosts: the POP group for interference-aware mode,
+            // the whole cluster for the Kubernetes baseline.
+            let group = next_group % group_count;
+            next_group += 1;
+            let candidates: Vec<usize> = (0..host_count)
+                .filter(|i| group_count == 1 || i % group_count == group)
+                .filter(|&i| {
+                    let h = &state.hosts[i];
+                    let (cpu, mem) = h.container_usage(app);
+                    cpu + h.background_cpu + m.resources.cpu <= h.cpu_capacity
+                        && mem + h.background_mem + m.resources.memory_mb <= h.mem_capacity
+                })
+                .collect();
+            let candidates = if candidates.is_empty() {
+                // Group full: fall back to any host with room.
+                (0..host_count)
+                    .filter(|&i| {
+                        let h = &state.hosts[i];
+                        let (cpu, mem) = h.container_usage(app);
+                        cpu + h.background_cpu + m.resources.cpu <= h.cpu_capacity
+                            && mem + h.background_mem + m.resources.memory_mb <= h.mem_capacity
+                    })
+                    .collect()
+            } else {
+                candidates
+            };
+            let Some(&best) = candidates.iter().min_by(|&&x, &&y| {
+                let score = |i: usize| -> f64 {
+                    let h = &state.hosts[i];
+                    match policy {
+                        PlacementPolicy::KubernetesDefault => {
+                            // Least-requested: only container requests count.
+                            let (c, mm) = h.requested_utilization(app);
+                            c + mm
+                        }
+                        PlacementPolicy::InterferenceAware { .. } => {
+                            // Actual utilisation including background load:
+                            // filling the least-utilised host is the greedy
+                            // step that most reduces unbalance.
+                            let (c, mm) = h.utilization(app);
+                            c + mm
+                        }
+                    }
+                };
+                score(x).partial_cmp(&score(y)).unwrap()
+            }) else {
+                return Err(Error::InsufficientCapacity {
+                    requested_cpu: requested,
+                    available_cpu: available,
+                });
+            };
+            *state.hosts[best].containers.entry(ms).or_insert(0) += 1;
+            current += 1;
+            placed += 1;
+        }
+    }
+
+    Ok(ProvisionReport {
+        placed,
+        released,
+        unbalance: state.unbalance(app),
+    })
+}
+
+/// Summary of one provisioning round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionReport {
+    /// Containers newly placed.
+    pub placed: u32,
+    /// Containers released.
+    pub released: u32,
+    /// Post-round resource unbalance of the cluster (§5.4).
+    pub unbalance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppBuilder, Sla};
+    use crate::latency::LatencyProfile;
+    use crate::resources::Resources;
+
+    fn app_with_one_ms() -> (App, MicroserviceId) {
+        let mut b = AppBuilder::new("p");
+        let m = b.microservice("m", LatencyProfile::linear(0.01, 1.0), Resources::new(1.0, 1024.0));
+        b.service("s", Sla::p95_ms(100.0), |g| {
+            g.entry(m);
+        });
+        (b.build().unwrap(), m)
+    }
+
+    fn cluster(n: usize) -> ClusterState {
+        ClusterState::new((0..n).map(|_| Host::paper_host()).collect())
+    }
+
+    #[test]
+    fn placement_reaches_target_counts() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = cluster(4);
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 10);
+        let report = provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        assert_eq!(report.placed, 10);
+        assert_eq!(state.containers_of(ms), 10);
+    }
+
+    #[test]
+    fn scale_down_releases_from_most_loaded() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = cluster(2);
+        state.hosts_mut()[1].background_cpu = 20.0;
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 8);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        plan.set_containers(ms, 4);
+        let report = provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        assert_eq!(report.released, 4);
+        assert_eq!(state.containers_of(ms), 4);
+        // The loaded host should have shed more containers.
+        assert!(state.hosts()[0].containers_of(ms) >= state.hosts()[1].containers_of(ms));
+    }
+
+    #[test]
+    fn interference_aware_avoids_background_load() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = cluster(2);
+        state.hosts_mut()[0].background_cpu = 24.0; // 75% busy
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 10);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        assert!(
+            state.hosts()[1].containers_of(ms) > state.hosts()[0].containers_of(ms),
+            "should prefer the idle host: {:?} vs {:?}",
+            state.hosts()[0].containers_of(ms),
+            state.hosts()[1].containers_of(ms)
+        );
+    }
+
+    #[test]
+    fn kubernetes_default_is_blind_to_background_load() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = cluster(2);
+        state.hosts_mut()[0].background_cpu = 24.0;
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 10);
+        provision(&mut state, &app, &plan, PlacementPolicy::KubernetesDefault).unwrap();
+        // Requests are equal on both hosts, so k8s spreads evenly despite
+        // the background load.
+        assert_eq!(state.hosts()[0].containers_of(ms), 5);
+        assert_eq!(state.hosts()[1].containers_of(ms), 5);
+        // And the resulting unbalance exceeds the interference-aware one.
+        let k8s_unbalance = state.unbalance(&app);
+        let mut state2 = cluster(2);
+        state2.hosts_mut()[0].background_cpu = 24.0;
+        provision(&mut state2, &app, &plan, PlacementPolicy::default()).unwrap();
+        assert!(state2.unbalance(&app) < k8s_unbalance);
+    }
+
+    #[test]
+    fn capacity_exhaustion_errors() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = ClusterState::new(vec![Host::new(2.0, 4096.0)]);
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 100);
+        assert!(matches!(
+            provision(&mut state, &app, &plan, PlacementPolicy::default()),
+            Err(Error::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn pop_grouping_still_places_all() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = cluster(8);
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 20);
+        provision(
+            &mut state,
+            &app,
+            &plan,
+            PlacementPolicy::InterferenceAware { groups: 4 },
+        )
+        .unwrap();
+        assert_eq!(state.containers_of(ms), 20);
+    }
+
+    #[test]
+    fn microservice_interference_weighted_by_containers() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = cluster(2);
+        state.hosts_mut()[0].background_cpu = 16.0; // 50% on host 0
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 4);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        let itf = state.microservice_interference(&app, ms);
+        assert!(itf.cpu > 0.0 && itf.cpu < 1.0);
+        // Unknown microservice falls back to cluster average.
+        let other = MicroserviceId::new(99);
+        let avg = state.average_interference(&app);
+        let fallback = state.microservice_interference(&app, other);
+        assert!((fallback.cpu - avg.cpu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalance_zero_for_identical_hosts() {
+        let (app, _) = app_with_one_ms();
+        let state = cluster(3);
+        assert!(state.unbalance(&app) < 1e-12);
+    }
+}

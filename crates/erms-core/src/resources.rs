@@ -1,0 +1,128 @@
+//! Container resource sizes and cluster capacities.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource configuration of one microservice container.
+///
+/// The paper configures every DeathStarBench container with 0.1 CPU core and
+/// 200 MB of memory (§6.1); [`Resources::default`] mirrors that.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Resources {
+    /// CPU request, in cores.
+    pub cpu: f64,
+    /// Memory request, in megabytes.
+    pub memory_mb: f64,
+}
+
+impl Resources {
+    /// Creates a container resource request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is not finite and non-negative; container
+    /// sizes are configuration constants, so this is a programming error.
+    pub fn new(cpu: f64, memory_mb: f64) -> Self {
+        assert!(
+            cpu.is_finite() && cpu >= 0.0 && memory_mb.is_finite() && memory_mb >= 0.0,
+            "container resources must be finite and non-negative"
+        );
+        Self { cpu, memory_mb }
+    }
+
+    /// Dominant-resource demand `R_i = max(cpu/C, mem/M)` of Eq. (3),
+    /// normalised by the cluster capacity.
+    pub fn dominant_share(&self, capacity: &ClusterCapacity) -> f64 {
+        let cpu_share = if capacity.cpu > 0.0 {
+            self.cpu / capacity.cpu
+        } else {
+            0.0
+        };
+        let mem_share = if capacity.memory_mb > 0.0 {
+            self.memory_mb / capacity.memory_mb
+        } else {
+            0.0
+        };
+        cpu_share.max(mem_share)
+    }
+}
+
+impl Default for Resources {
+    /// The paper's container shape: 0.1 core, 200 MB (§6.1).
+    fn default() -> Self {
+        Self {
+            cpu: 0.1,
+            memory_mb: 200.0,
+        }
+    }
+}
+
+/// Total CPU and memory capacity of the cluster, used to normalise dominant
+/// resource demands (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterCapacity {
+    /// Total CPU cores.
+    pub cpu: f64,
+    /// Total memory in megabytes.
+    pub memory_mb: f64,
+}
+
+impl ClusterCapacity {
+    /// Creates a capacity description.
+    pub fn new(cpu: f64, memory_mb: f64) -> Self {
+        Self { cpu, memory_mb }
+    }
+
+    /// The paper's evaluation cluster: 20 hosts × (32 cores, 64 GB) (§6.1).
+    pub fn paper_cluster() -> Self {
+        Self::new(20.0 * 32.0, 20.0 * 64.0 * 1024.0)
+    }
+}
+
+impl Default for ClusterCapacity {
+    fn default() -> Self {
+        Self::paper_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_share_picks_max() {
+        let cap = ClusterCapacity::new(100.0, 10_000.0);
+        // cpu share = 0.01, mem share = 0.02 -> mem dominates
+        let r = Resources::new(1.0, 200.0);
+        assert!((r.dominant_share(&cap) - 0.02).abs() < 1e-12);
+        // cpu dominates
+        let r = Resources::new(5.0, 100.0);
+        assert!((r.dominant_share(&cap) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_matches_paper_container() {
+        let r = Resources::default();
+        assert_eq!(r.cpu, 0.1);
+        assert_eq!(r.memory_mb, 200.0);
+    }
+
+    #[test]
+    fn paper_cluster_capacity() {
+        let c = ClusterCapacity::paper_cluster();
+        assert_eq!(c.cpu, 640.0);
+        assert_eq!(c.memory_mb, 20.0 * 64.0 * 1024.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_cpu_panics() {
+        let _ = Resources::new(-1.0, 10.0);
+    }
+
+    #[test]
+    fn zero_capacity_does_not_divide_by_zero() {
+        let cap = ClusterCapacity::new(0.0, 0.0);
+        let r = Resources::default();
+        assert_eq!(r.dominant_share(&cap), 0.0);
+    }
+}

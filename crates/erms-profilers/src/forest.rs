@@ -1,0 +1,166 @@
+//! A bagged random forest of CART trees — an additional non-parametric
+//! baseline beyond the paper's XGBoost/NN line-up, useful for checking
+//! that the piecewise-linear model's advantage is not an artefact of one
+//! particular learner family.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::tree::{RegressionTree, TreeConfig};
+use crate::Regressor;
+
+/// Hyper-parameters of the forest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Fraction of the training set bootstrapped per tree.
+    pub sample_fraction: f64,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// RNG seed for bootstrapping.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            trees: 30,
+            sample_fraction: 0.7,
+            tree: TreeConfig {
+                max_depth: 8,
+                min_samples_split: 4,
+                candidate_thresholds: 12,
+            },
+            seed: 5,
+        }
+    }
+}
+
+/// A bagged regression forest (mean of per-tree predictions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    config: ForestConfig,
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    pub fn new(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self::new(ForestConfig::default())
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "row/target count mismatch");
+        self.trees.clear();
+        if x.is_empty() {
+            return;
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let n = x.len();
+        let per_tree = ((n as f64) * self.config.sample_fraction.clamp(0.05, 1.0))
+            .round()
+            .max(1.0) as usize;
+        for _ in 0..self.config.trees.max(1) {
+            let mut bx = Vec::with_capacity(per_tree);
+            let mut by = Vec::with_capacity(per_tree);
+            for _ in 0..per_tree {
+                let idx = rng.gen_range(0..n);
+                bx.push(x[idx].clone());
+                by.push(y[idx]);
+            }
+            let mut tree = RegressionTree::new(self.config.tree);
+            tree.fit(&bx, &by);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn fits_nonlinear_curve() {
+        let x: Vec<Vec<f64>> = (1..400).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] / 40.0).sin() * 8.0 + 25.0).collect();
+        let mut model = RandomForest::default();
+        model.fit(&x, &y);
+        let acc = accuracy(&y, &model.predict_batch(&x));
+        assert!(acc > 0.93, "{acc}");
+        assert_eq!(model.tree_count(), 30);
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let mut model = RandomForest::default();
+        model.fit(&[], &[]);
+        assert_eq!(model.predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn bagging_is_deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 0.5 + 3.0).collect();
+        let mut a = RandomForest::default();
+        let mut b = RandomForest::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&[42.0]), b.predict(&[42.0]));
+    }
+
+    #[test]
+    fn averaging_smooths_single_tree_variance() {
+        // On noisy data the forest should not be worse than a single deep
+        // tree on held-out points.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x: Vec<Vec<f64>> = (0..600).map(|i| vec![(i % 300) as f64]).collect();
+        let truth = |v: f64| v * 0.1 + 5.0;
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| truth(r[0]) * (1.0 + rng.gen_range(-0.2..0.2)))
+            .collect();
+        let (xtr, xte) = x.split_at(300);
+        let (ytr, _) = y.split_at(300);
+        let clean: Vec<f64> = xte.iter().map(|r| truth(r[0])).collect();
+        let mut forest = RandomForest::default();
+        forest.fit(xtr, ytr);
+        let mut tree = RegressionTree::new(TreeConfig {
+            max_depth: 12,
+            min_samples_split: 2,
+            candidate_thresholds: 24,
+        });
+        tree.fit(xtr, ytr);
+        let forest_acc = accuracy(&clean, &forest.predict_batch(xte));
+        let tree_acc = accuracy(&clean, &tree.predict_batch(xte));
+        assert!(
+            forest_acc >= tree_acc - 0.02,
+            "forest {forest_acc} vs single tree {tree_acc}"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Ordinary least squares via normal equations, with a tiny ridge term for
+//! numerical stability.
+
+use crate::{FitError, Regressor};
+
+/// Solves the linear system `A·x = b` in place by Gaussian elimination with
+/// partial pivoting. `a` is row-major `n×n`.
+///
+/// Returns `None` when the matrix is (numerically) singular.
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// Fits `y ≈ X·β` by least squares on arbitrary design rows (no intercept
+/// is added; include a constant-1 column yourself if needed).
+///
+/// # Errors
+///
+/// * [`FitError::TooFewSamples`] when there are fewer rows than columns;
+/// * [`FitError::Singular`] when the normal equations cannot be solved.
+pub fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, FitError> {
+    assert_eq!(x.len(), y.len(), "row/target count mismatch");
+    let n = x.len();
+    let d = x.first().map_or(0, Vec::len);
+    if n < d || d == 0 {
+        return Err(FitError::TooFewSamples { got: n, need: d.max(1) });
+    }
+    // Column scaling keeps the normal equations well-conditioned even when
+    // features differ in magnitude by orders of magnitude (e.g. `C·γ` vs
+    // the constant column) or are collinear.
+    let mut scale = vec![0.0f64; d];
+    for row in x {
+        debug_assert_eq!(row.len(), d, "inconsistent row width");
+        for (j, v) in row.iter().enumerate() {
+            scale[j] = scale[j].max(v.abs());
+        }
+    }
+    for s in &mut scale {
+        if *s <= 0.0 {
+            *s = 1.0;
+        }
+    }
+    // Normal equations XᵀX β = Xᵀy on scaled columns, with a relative
+    // ridge that resolves exact collinearity towards the minimum-norm
+    // solution.
+    let mut xtx = vec![vec![0.0; d]; d];
+    let mut xty = vec![0.0; d];
+    for (row, &target) in x.iter().zip(y) {
+        for i in 0..d {
+            let xi = row[i] / scale[i];
+            xty[i] += xi * target;
+            for j in i..d {
+                xtx[i][j] += xi * row[j] / scale[j];
+            }
+        }
+    }
+    let ridge = 1e-8 * n as f64;
+    for i in 0..d {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        xtx[i][i] += ridge;
+    }
+    let beta = solve_linear(xtx, xty).ok_or(FitError::Singular)?;
+    Ok(beta.into_iter().zip(&scale).map(|(b, s)| b / s).collect())
+}
+
+/// A linear model with intercept: `y = β₀ + β·x`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinearModel {
+    /// Coefficients: `[β₀, β₁, …]` (intercept first).
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fits a linear model with intercept.
+    ///
+    /// # Errors
+    ///
+    /// See [`least_squares`].
+    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<Self, FitError> {
+        let design: Vec<Vec<f64>> = x
+            .iter()
+            .map(|row| {
+                let mut r = Vec::with_capacity(row.len() + 1);
+                r.push(1.0);
+                r.extend_from_slice(row);
+                r
+            })
+            .collect();
+        Ok(Self {
+            coefficients: least_squares(&design, y)?,
+        })
+    }
+}
+
+impl Regressor for LinearModel {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        if let Ok(model) = LinearModel::fit(x, y) {
+            *self = model;
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut acc = self.coefficients.first().copied().unwrap_or(0.0);
+        for (c, v) in self.coefficients.iter().skip(1).zip(row) {
+            acc += c * v;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5 ; x - y = 1 -> x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![5.0, 1.0];
+        let x = solve_linear(a, b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_system_is_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 3 + 2a - b
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let m = LinearModel::fit(&x, &y).unwrap();
+        // Tolerances account for the small ridge regulariser.
+        assert!((m.coefficients[0] - 3.0).abs() < 1e-4);
+        assert!((m.coefficients[1] - 2.0).abs() < 1e-4);
+        assert!((m.coefficients[2] + 1.0).abs() < 1e-4);
+        assert!((m.predict(&[10.0, 4.0]) - 19.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn too_few_samples_errors() {
+        let x = vec![vec![1.0, 2.0, 3.0]];
+        let y = vec![1.0];
+        assert!(matches!(
+            LinearModel::fit(&x, &y),
+            Err(FitError::TooFewSamples { .. })
+        ));
+    }
+}

@@ -1,0 +1,936 @@
+//! The discrete-event microservice runtime.
+//!
+//! Requests arrive as Poisson streams per service, walk the service's
+//! dependency graph (own processing first, then each stage's calls — calls
+//! within a stage fan out in parallel, stages run sequentially), and queue
+//! for the finite thread pools of the microservice's containers. Scheduling
+//! at each container is FCFS or the δ-probabilistic priority policy of
+//! §5.3.2. The simulator emits Jaeger-style spans (sampled) and raw
+//! per-microservice latency observations for the profiling pipeline.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use erms_core::app::{App, WorkloadVector};
+use erms_core::ids::{MicroserviceId, NodeId, ServiceId};
+use erms_core::latency::Interference;
+use erms_trace::extract::LatencyObservation;
+use erms_trace::span::{Span, SpanId, SpanKind, TraceId};
+use erms_trace::store::TraceStore;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::service_time::ServiceTimeModel;
+use crate::stats;
+
+/// Request scheduling policy at each container (§5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheduling {
+    /// First-come-first-serve across all services.
+    Fcfs,
+    /// δ-probabilistic priority: when a thread frees up, the request from
+    /// the service with the `l`-th highest priority is picked with
+    /// probability `δ^(l−1)·(1−δ)`. The paper sets δ = 0.05.
+    Priority {
+        /// The starvation-avoidance parameter δ ∈ [0, 1).
+        delta: f64,
+    },
+}
+
+impl Default for Scheduling {
+    fn default() -> Self {
+        Scheduling::Priority { delta: 0.05 }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Simulated duration in ms (arrivals stop after this).
+    pub duration_ms: f64,
+    /// Warm-up period excluded from statistics.
+    pub warmup_ms: f64,
+    /// RNG seed (everything is deterministic given the seed).
+    pub seed: u64,
+    /// Fraction of traces recorded as spans (Jaeger uses 0.1, §5.1).
+    pub trace_sampling: f64,
+    /// Scheduling policy at containers.
+    pub scheduling: Scheduling,
+    /// One-way network delay per call, in ms.
+    pub network_delay_ms: f64,
+    /// Threads per container when no per-microservice override is set.
+    pub default_threads: usize,
+    /// Hard event-count cap (guards against accidental overload loops).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            duration_ms: 60_000.0,
+            warmup_ms: 5_000.0,
+            seed: 42,
+            trace_sampling: 0.1,
+            scheduling: Scheduling::default(),
+            network_delay_ms: 0.1,
+            default_threads: 4,
+            max_events: 200_000_000,
+        }
+    }
+}
+
+/// A configured simulation bound to an application.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    app: &'a App,
+    config: SimConfig,
+    service_times: BTreeMap<MicroserviceId, ServiceTimeModel>,
+    threads: BTreeMap<MicroserviceId, usize>,
+    interference: BTreeMap<MicroserviceId, Interference>,
+    uniform_itf: Interference,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation with default service times (2 ms mean) for all
+    /// microservices.
+    pub fn new(app: &'a App, config: SimConfig) -> Self {
+        Self {
+            app,
+            config,
+            service_times: BTreeMap::new(),
+            threads: BTreeMap::new(),
+            interference: BTreeMap::new(),
+            uniform_itf: Interference::default(),
+        }
+    }
+
+    /// Sets the service-time model of a microservice.
+    pub fn set_service_time(&mut self, ms: MicroserviceId, model: ServiceTimeModel) -> &mut Self {
+        self.service_times.insert(ms, model);
+        self
+    }
+
+    /// Sets the per-container thread count of a microservice.
+    pub fn set_threads(&mut self, ms: MicroserviceId, threads: usize) -> &mut Self {
+        self.threads.insert(ms, threads.max(1));
+        self
+    }
+
+    /// Sets the interference every microservice experiences.
+    pub fn set_uniform_interference(&mut self, itf: Interference) -> &mut Self {
+        self.uniform_itf = itf;
+        self
+    }
+
+    /// Overrides the interference one microservice's containers experience
+    /// (containers on differently-loaded hosts, §5.4).
+    pub fn set_interference(&mut self, ms: MicroserviceId, itf: Interference) -> &mut Self {
+        self.interference.insert(ms, itf);
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// `containers` gives the deployment size per microservice;
+    /// `priorities` the service order (highest first) at prioritised
+    /// microservices — pass an empty map for FCFS everywhere.
+    pub fn run(
+        &self,
+        workloads: &WorkloadVector,
+        containers: &BTreeMap<MicroserviceId, u32>,
+        priorities: &BTreeMap<MicroserviceId, Vec<ServiceId>>,
+    ) -> SimResult {
+        Engine::new(self, workloads, containers, priorities).run()
+    }
+}
+
+/// Aggregated output of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// End-to-end latencies per service (post-warm-up completions).
+    pub service_latencies: BTreeMap<ServiceId, Vec<f64>>,
+    /// Per-microservice own latencies: `(arrival time, own latency,
+    /// service)`.
+    pub ms_own_latencies: BTreeMap<MicroserviceId, Vec<(f64, f64, ServiceId)>>,
+    /// Sampled spans (Jaeger stand-in).
+    pub trace_store: TraceStore,
+    /// Requests generated (arrivals).
+    pub generated: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped because a microservice had zero containers.
+    pub dropped: u64,
+}
+
+impl SimResult {
+    /// Tail latency of a service (nearest-rank percentile).
+    pub fn latency_percentile(&self, service: ServiceId, p: f64) -> f64 {
+        self.service_latencies
+            .get(&service)
+            .map(|v| stats::percentile(v, p))
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of a service's requests exceeding `threshold_ms`.
+    pub fn violation_rate(&self, service: ServiceId, threshold_ms: f64) -> f64 {
+        self.service_latencies
+            .get(&service)
+            .map(|v| stats::fraction_above(v, threshold_ms))
+            .unwrap_or(0.0)
+    }
+
+    /// Flattens the per-microservice observations into the trace crate's
+    /// [`LatencyObservation`] form for aggregation and profiling.
+    pub fn latency_observations(&self) -> Vec<LatencyObservation> {
+        let mut out = Vec::new();
+        for (&ms, rows) in &self.ms_own_latencies {
+            for &(at_ms, latency_ms, service) in rows {
+                out.push(LatencyObservation {
+                    microservice: ms,
+                    service,
+                    at_ms,
+                    latency_ms,
+                });
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// Next Poisson arrival of a service.
+    Arrival(ServiceId),
+    /// A call reaches its deployment and tries to grab a thread.
+    Ready(u32),
+    /// A call's own processing finished on its container thread.
+    Done(u32),
+}
+
+#[derive(Debug)]
+struct HeapItem {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Call {
+    service: ServiceId,
+    node: NodeId,
+    ms: MicroserviceId,
+    parent: Option<u32>,
+    container: u32,
+    arrive: f64,
+    service_end: f64,
+    client_start: f64,
+    stage: usize,
+    pending: usize,
+    root_start: f64,
+    trace: Option<(TraceId, SpanId)>,
+    in_use: bool,
+}
+
+#[derive(Debug)]
+struct Container {
+    busy: usize,
+    queues: Vec<VecDeque<u32>>,
+}
+
+#[derive(Debug)]
+struct Deployment {
+    threads: usize,
+    class_of: BTreeMap<ServiceId, usize>,
+    n_classes: usize,
+    containers: Vec<Container>,
+    rr: usize,
+    model: ServiceTimeModel,
+    itf: Interference,
+}
+
+struct Engine<'s, 'a> {
+    sim: &'s Simulation<'a>,
+    workloads: &'s WorkloadVector,
+    heap: BinaryHeap<HeapItem>,
+    seq: u64,
+    calls: Vec<Call>,
+    free: Vec<u32>,
+    deployments: BTreeMap<MicroserviceId, Deployment>,
+    rng: rand::rngs::StdRng,
+    store: TraceStore,
+    next_trace: u64,
+    next_span: u64,
+    result_latencies: BTreeMap<ServiceId, Vec<f64>>,
+    result_own: BTreeMap<MicroserviceId, Vec<(f64, f64, ServiceId)>>,
+    generated: u64,
+    completed: u64,
+    dropped: u64,
+}
+
+impl<'s, 'a> Engine<'s, 'a> {
+    fn new(
+        sim: &'s Simulation<'a>,
+        workloads: &'s WorkloadVector,
+        containers: &BTreeMap<MicroserviceId, u32>,
+        priorities: &BTreeMap<MicroserviceId, Vec<ServiceId>>,
+    ) -> Self {
+        let mut deployments = BTreeMap::new();
+        for (ms, _) in sim.app.microservices() {
+            let n = containers.get(&ms).copied().unwrap_or(0) as usize;
+            let (class_of, n_classes) = match (sim.config.scheduling, priorities.get(&ms)) {
+                (Scheduling::Priority { .. }, Some(order)) if !order.is_empty() => {
+                    let map: BTreeMap<ServiceId, usize> = order
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, &svc)| (svc, rank))
+                        .collect();
+                    let classes = order.len() + 1; // +1 catch-all lowest class
+                    (map, classes)
+                }
+                _ => (BTreeMap::new(), 1),
+            };
+            let threads = sim
+                .threads
+                .get(&ms)
+                .copied()
+                .unwrap_or(sim.config.default_threads)
+                .max(1);
+            deployments.insert(
+                ms,
+                Deployment {
+                    threads,
+                    class_of,
+                    n_classes,
+                    containers: (0..n)
+                        .map(|_| Container {
+                            busy: 0,
+                            queues: (0..n_classes).map(|_| VecDeque::new()).collect(),
+                        })
+                        .collect(),
+                    rr: 0,
+                    model: sim.service_times.get(&ms).copied().unwrap_or_default(),
+                    itf: sim
+                        .interference
+                        .get(&ms)
+                        .copied()
+                        .unwrap_or(sim.uniform_itf),
+                },
+            );
+        }
+        Self {
+            sim,
+            workloads,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            calls: Vec::new(),
+            free: Vec::new(),
+            deployments,
+            rng: rand::rngs::StdRng::seed_from_u64(sim.config.seed),
+            store: TraceStore::with_sampling(sim.config.trace_sampling, sim.config.seed ^ 0xA5A5),
+            next_trace: 1,
+            next_span: 1,
+            result_latencies: BTreeMap::new(),
+            result_own: BTreeMap::new(),
+            generated: 0,
+            completed: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, time: f64, event: Event) {
+        self.seq += 1;
+        self.heap.push(HeapItem {
+            time,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    fn alloc_call(&mut self, call: Call) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.calls[idx as usize] = call;
+            idx
+        } else {
+            self.calls.push(call);
+            (self.calls.len() - 1) as u32
+        }
+    }
+
+    fn release_call(&mut self, idx: u32) {
+        self.calls[idx as usize].in_use = false;
+        self.free.push(idx);
+    }
+
+    fn next_span_id(&mut self) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        id
+    }
+
+    fn run(mut self) -> SimResult {
+        // Seed one arrival per active service.
+        for (sid, rate) in self.workloads.iter() {
+            let lambda = rate.as_per_ms();
+            if lambda > 0.0 {
+                let dt = exp_sample(lambda, &mut self.rng);
+                self.push(dt, Event::Arrival(sid));
+            }
+        }
+        let mut events = 0u64;
+        while let Some(HeapItem { time, event, .. }) = self.heap.pop() {
+            events += 1;
+            if events > self.sim.config.max_events {
+                break;
+            }
+            match event {
+                Event::Arrival(sid) => self.on_arrival(sid, time),
+                Event::Ready(call) => self.on_ready(call, time),
+                Event::Done(call) => self.on_done(call, time),
+            }
+        }
+        SimResult {
+            service_latencies: self.result_latencies,
+            ms_own_latencies: self.result_own,
+            trace_store: self.store,
+            generated: self.generated,
+            completed: self.completed,
+            dropped: self.dropped,
+        }
+    }
+
+    fn on_arrival(&mut self, sid: ServiceId, time: f64) {
+        // Schedule the next arrival while inside the horizon.
+        let lambda = self.workloads.rate(sid).as_per_ms();
+        if lambda > 0.0 {
+            let next = time + exp_sample(lambda, &mut self.rng);
+            if next <= self.sim.config.duration_ms {
+                self.push(next, Event::Arrival(sid));
+            }
+        }
+        self.generated += 1;
+        let svc = self.sim.app.service(sid).expect("valid service");
+        let root_node = svc.graph.root();
+        let ms = svc.graph.node(root_node).microservice;
+        let trace = {
+            let trace_id = TraceId(self.next_trace);
+            self.next_trace += 1;
+            if self.store.is_sampled(trace_id) {
+                let span = self.next_span_id();
+                Some((trace_id, span))
+            } else {
+                None
+            }
+        };
+        let call = self.alloc_call(Call {
+            service: sid,
+            node: root_node,
+            ms,
+            parent: None,
+            container: 0,
+            arrive: time,
+            service_end: 0.0,
+            client_start: time,
+            stage: 0,
+            pending: 0,
+            root_start: time,
+            trace,
+            in_use: true,
+        });
+        self.push(time, Event::Ready(call));
+    }
+
+    fn on_ready(&mut self, idx: u32, time: f64) {
+        let (ms, service) = {
+            let call = &self.calls[idx as usize];
+            (call.ms, call.service)
+        };
+        let Some(dep) = self.deployments.get_mut(&ms) else {
+            self.dropped += 1;
+            self.abandon(idx);
+            return;
+        };
+        if dep.containers.is_empty() {
+            self.dropped += 1;
+            self.abandon(idx);
+            return;
+        }
+        // Round-robin container choice.
+        dep.rr = (dep.rr + 1) % dep.containers.len();
+        let c_idx = dep.rr;
+        self.calls[idx as usize].container = c_idx as u32;
+        self.calls[idx as usize].arrive = time;
+        let threads = dep.threads;
+        let class = dep
+            .class_of
+            .get(&service)
+            .copied()
+            .unwrap_or(dep.n_classes - 1);
+        let container = &mut dep.containers[c_idx];
+        if container.busy < threads {
+            container.busy += 1;
+            let dt = dep.model.sample(dep.itf, &mut self.rng);
+            self.push(time + dt, Event::Done(idx));
+        } else {
+            container.queues[class].push_back(idx);
+        }
+    }
+
+    fn on_done(&mut self, idx: u32, time: f64) {
+        // Free the thread and start the next queued call, if any.
+        let (ms, container_idx) = {
+            let call = &self.calls[idx as usize];
+            (call.ms, call.container as usize)
+        };
+        let next_start = {
+            let dep = self.deployments.get_mut(&ms).expect("deployment exists");
+            let delta = match self.sim.config.scheduling {
+                Scheduling::Priority { delta } => delta,
+                Scheduling::Fcfs => 0.0,
+            };
+            let container = &mut dep.containers[container_idx];
+            let picked = pick_next(&mut container.queues, delta, &mut self.rng);
+            match picked {
+                Some(next) => {
+                    let dt = dep.model.sample(dep.itf, &mut self.rng);
+                    Some((next, dt))
+                }
+                None => {
+                    container.busy -= 1;
+                    None
+                }
+            }
+        };
+        if let Some((next, dt)) = next_start {
+            self.push(time + dt, Event::Done(next));
+        }
+
+        // Record own latency (queueing + processing).
+        {
+            let call = &mut self.calls[idx as usize];
+            call.service_end = time;
+            let own = time - call.arrive;
+            let (at, svc) = (call.arrive, call.service);
+            if at >= self.sim.config.warmup_ms {
+                self.result_own.entry(ms).or_default().push((at, own, svc));
+            }
+        }
+
+        // Fan out the first stage, or complete immediately.
+        self.advance_stages(idx, time, 0);
+    }
+
+    /// Starts stage `stage` of `idx`'s node, or completes the call when all
+    /// stages are done.
+    fn advance_stages(&mut self, idx: u32, time: f64, stage: usize) {
+        let (service, node_id) = {
+            let call = &self.calls[idx as usize];
+            (call.service, call.node)
+        };
+        let svc = self.sim.app.service(service).expect("valid service");
+        let node = svc.graph.node(node_id);
+        if stage >= node.stages.len() {
+            self.complete(idx, time);
+            return;
+        }
+        let children: Vec<NodeId> = node.stages[stage].clone();
+        let mut spawned = 0usize;
+        let net = self.sim.config.network_delay_ms;
+        for child_node in children {
+            let copies = self.multiplicity_copies(svc, child_node);
+            for _ in 0..copies {
+                let child_ms = svc.graph.node(child_node).microservice;
+                let trace = match self.calls[idx as usize].trace {
+                    Some((trace_id, _)) => Some((trace_id, self.next_span_id())),
+                    None => None,
+                };
+                let root_start = self.calls[idx as usize].root_start;
+                let child = self.alloc_call(Call {
+                    service,
+                    node: child_node,
+                    ms: child_ms,
+                    parent: Some(idx),
+                    container: 0,
+                    arrive: time + net,
+                    service_end: 0.0,
+                    client_start: time,
+                    stage: 0,
+                    pending: 0,
+                    root_start,
+                    trace,
+                    in_use: true,
+                });
+                self.push(time + net, Event::Ready(child));
+                spawned += 1;
+            }
+        }
+        if spawned == 0 {
+            // Empty stage (possible with probabilistic multiplicities):
+            // move on immediately.
+            self.advance_stages(idx, time, stage + 1);
+            return;
+        }
+        let call = &mut self.calls[idx as usize];
+        call.stage = stage;
+        call.pending = spawned;
+    }
+
+    /// Number of copies of a child call, honouring fractional
+    /// multiplicities probabilistically.
+    fn multiplicity_copies(&mut self, svc: &erms_core::app::Service, node: NodeId) -> usize {
+        let m = svc.graph.node(node).multiplicity;
+        let whole = m.floor() as usize;
+        let frac = m - m.floor();
+        whole + usize::from(frac > 0.0 && self.rng.gen_bool(frac.clamp(0.0, 1.0)))
+    }
+
+    /// A call finished all its stages: emit spans, notify the parent or
+    /// finish the request.
+    fn complete(&mut self, idx: u32, time: f64) {
+        let call = self.calls[idx as usize].clone();
+        // Server span: arrival at this microservice to response sent.
+        if let Some((trace_id, span_id)) = call.trace {
+            let parent_span = call
+                .parent
+                .and_then(|p| self.calls[p as usize].trace.map(|(_, s)| s));
+            self.store.record(Span {
+                trace_id,
+                span_id,
+                parent: parent_span,
+                microservice: call.ms,
+                service: call.service,
+                kind: SpanKind::Server,
+                start_ms: call.arrive,
+                end_ms: time,
+            });
+        }
+        let net = self.sim.config.network_delay_ms;
+        match call.parent {
+            None => {
+                // End-to-end completion.
+                self.completed += 1;
+                if call.root_start >= self.sim.config.warmup_ms {
+                    self.result_latencies
+                        .entry(call.service)
+                        .or_default()
+                        .push(time - call.root_start);
+                }
+                self.release_call(idx);
+            }
+            Some(parent) => {
+                // Client span at the parent side.
+                if let (Some((trace_id, _)), Some((_, parent_server))) = (
+                    call.trace,
+                    self.calls[parent as usize].trace,
+                ) {
+                    let client_span = self.next_span_id();
+                    self.store.record(Span {
+                        trace_id,
+                        span_id: client_span,
+                        parent: Some(parent_server),
+                        microservice: call.ms,
+                        service: call.service,
+                        kind: SpanKind::Client,
+                        start_ms: call.client_start,
+                        end_ms: time + net,
+                    });
+                }
+                self.release_call(idx);
+                let parent_call = &mut self.calls[parent as usize];
+                debug_assert!(parent_call.in_use);
+                parent_call.pending -= 1;
+                let next_stage = parent_call.stage + 1;
+                if parent_call.pending == 0 {
+                    self.advance_stages(parent, time + net, next_stage);
+                }
+            }
+        }
+    }
+
+    /// A call that cannot be served (no containers): unwind the request.
+    fn abandon(&mut self, idx: u32) {
+        let parent = self.calls[idx as usize].parent;
+        self.release_call(idx);
+        if let Some(p) = parent {
+            let parent_call = &mut self.calls[p as usize];
+            parent_call.pending = parent_call.pending.saturating_sub(1);
+            // The request is effectively failed; do not advance stages, so
+            // no latency is recorded for it.
+        }
+    }
+}
+
+/// Picks the next queued call according to the δ-probabilistic priority
+/// rule (§5.3.2): walk classes from highest priority; pick a non-empty
+/// class with probability `1−δ`, otherwise move on; wrap to the first
+/// non-empty class if all were skipped.
+fn pick_next(
+    queues: &mut [VecDeque<u32>],
+    delta: f64,
+    rng: &mut impl Rng,
+) -> Option<u32> {
+    let first_non_empty = queues.iter().position(|q| !q.is_empty())?;
+    if delta > 0.0 {
+        for class in first_non_empty..queues.len() {
+            if queues[class].is_empty() {
+                continue;
+            }
+            if rng.gen_bool(1.0 - delta) {
+                return queues[class].pop_front();
+            }
+        }
+    }
+    queues[first_non_empty].pop_front()
+}
+
+/// Exponential inter-arrival sample with rate `lambda` (per ms).
+fn exp_sample(lambda: f64, rng: &mut impl Rng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erms_core::app::{AppBuilder, RequestRate, Sla};
+    use erms_core::latency::LatencyProfile;
+    use erms_core::resources::Resources;
+
+    fn chain_app() -> (App, [MicroserviceId; 2], ServiceId) {
+        let mut b = AppBuilder::new("sim");
+        let a = b.microservice("a", LatencyProfile::linear(0.01, 2.0), Resources::default());
+        let c = b.microservice("c", LatencyProfile::linear(0.01, 2.0), Resources::default());
+        let s = b.service("s", Sla::p95_ms(100.0), |g| {
+            let root = g.entry(a);
+            g.call_seq(root, c);
+        });
+        (b.build().unwrap(), [a, c], s)
+    }
+
+    fn containers(pairs: &[(MicroserviceId, u32)]) -> BTreeMap<MicroserviceId, u32> {
+        pairs.iter().copied().collect()
+    }
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            duration_ms: 30_000.0,
+            warmup_ms: 2_000.0,
+            seed: 7,
+            trace_sampling: 1.0,
+            network_delay_ms: 0.1,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn light_load_latency_near_service_time_sum() {
+        let (app, [a, c], s) = chain_app();
+        let mut sim = Simulation::new(&app, quick_config());
+        sim.set_service_time(a, ServiceTimeModel::new(2.0, 0.0, 0.0, 0.0));
+        sim.set_service_time(c, ServiceTimeModel::new(3.0, 0.0, 0.0, 0.0));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0)); // 10/s, far below capacity
+        let result = sim.run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new());
+        assert!(result.completed > 100);
+        assert_eq!(result.dropped, 0);
+        let p50 = result.latency_percentile(s, 0.5);
+        // 2 + 3 ms service + 2 network hops (0.1 each way on the inner
+        // call) ≈ 5.2 ms with no queueing.
+        assert!((p50 - 5.2).abs() < 0.5, "p50 {p50}");
+    }
+
+    #[test]
+    fn queueing_grows_latency_beyond_knee() {
+        let (app, [a, c], s) = chain_app();
+        let mut config = quick_config();
+        config.default_threads = 1;
+        let mut sim = Simulation::new(&app, config);
+        sim.set_service_time(a, ServiceTimeModel::new(2.0, 0.3, 0.0, 0.0));
+        sim.set_service_time(c, ServiceTimeModel::new(2.0, 0.3, 0.0, 0.0));
+        // One container, one thread -> capacity 500 req/s... rate per ms:
+        // capacity = 1/2ms = 0.5/ms = 30000/min. Light: 6000/min; heavy:
+        // 27000/min (90% utilisation).
+        let mut light = WorkloadVector::new();
+        light.set(s, RequestRate::per_minute(6_000.0));
+        let mut heavy = WorkloadVector::new();
+        heavy.set(s, RequestRate::per_minute(27_000.0));
+        let cs = containers(&[(a, 1), (c, 1)]);
+        let r_light = sim.run(&light, &cs, &BTreeMap::new());
+        let r_heavy = sim.run(&heavy, &cs, &BTreeMap::new());
+        let p95_light = r_light.latency_percentile(s, 0.95);
+        let p95_heavy = r_heavy.latency_percentile(s, 0.95);
+        assert!(
+            p95_heavy > 2.0 * p95_light,
+            "queueing should dominate: light {p95_light}, heavy {p95_heavy}"
+        );
+    }
+
+    #[test]
+    fn priority_scheduling_protects_high_priority_service() {
+        // Two services share microservice P; service 0 gets priority.
+        let mut b = AppBuilder::new("share");
+        let u = b.microservice("u", LatencyProfile::linear(0.01, 1.0), Resources::default());
+        let h = b.microservice("h", LatencyProfile::linear(0.01, 1.0), Resources::default());
+        let p = b.microservice("p", LatencyProfile::linear(0.01, 1.0), Resources::default());
+        let s1 = b.service("s1", Sla::p95_ms(100.0), |g| {
+            let root = g.entry(u);
+            g.call_seq(root, p);
+        });
+        let s2 = b.service("s2", Sla::p95_ms(100.0), |g| {
+            let root = g.entry(h);
+            g.call_seq(root, p);
+        });
+        let app = b.build().unwrap();
+        let mut config = quick_config();
+        config.default_threads = 1;
+        config.scheduling = Scheduling::Priority { delta: 0.05 };
+        let mut sim = Simulation::new(&app, config.clone());
+        for ms in [u, h, p] {
+            sim.set_service_time(ms, ServiceTimeModel::new(1.5, 0.3, 0.0, 0.0));
+        }
+        // P is the bottleneck: 2 containers, combined load ~85% of its
+        // capacity.
+        let mut w = WorkloadVector::new();
+        w.set(s1, RequestRate::per_minute(20_000.0));
+        w.set(s2, RequestRate::per_minute(20_000.0));
+        let cs = containers(&[(u, 2), (h, 2), (p, 2)]);
+        let mut priorities = BTreeMap::new();
+        priorities.insert(p, vec![s1, s2]);
+        let with_prio = sim.run(&w, &cs, &priorities);
+        let no_prio = sim.run(&w, &cs, &BTreeMap::new());
+        let own = |r: &SimResult, svc: ServiceId| -> f64 {
+            let rows = &r.ms_own_latencies[&p];
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|(_, _, s)| *s == svc)
+                .map(|(_, l, _)| *l)
+                .collect();
+            stats::percentile(&v, 0.95)
+        };
+        let prio_high = own(&with_prio, s1);
+        let fcfs_high = own(&no_prio, s1);
+        assert!(
+            prio_high < fcfs_high,
+            "priority should cut the high-priority service's P latency: {prio_high} vs {fcfs_high}"
+        );
+    }
+
+    #[test]
+    fn spans_reconstruct_the_graph() {
+        let (app, [a, c], s) = chain_app();
+        let mut config = quick_config();
+        config.trace_sampling = 1.0;
+        config.duration_ms = 5_000.0;
+        config.warmup_ms = 0.0;
+        let sim = Simulation::new(&app, config);
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let result = sim.run(&w, &containers(&[(a, 1), (c, 1)]), &BTreeMap::new());
+        assert!(result.trace_store.trace_count() > 10);
+        let (_, spans) = result.trace_store.iter().next().unwrap();
+        let extracted = erms_trace::extract::extract_trace_graph(spans).unwrap();
+        assert_eq!(extracted.graph.len(), 2);
+        assert_eq!(extracted.graph.node(extracted.graph.root()).microservice, a);
+        let _ = c;
+    }
+
+    #[test]
+    fn zero_containers_drops_requests() {
+        let (app, [a, c], s) = chain_app();
+        let sim = Simulation::new(&app, quick_config());
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let result = sim.run(&w, &containers(&[(a, 1), (c, 0)]), &BTreeMap::new());
+        assert!(result.dropped > 0);
+        assert_eq!(result.completed, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (app, [a, c], s) = chain_app();
+        let sim = Simulation::new(&app, quick_config());
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(3_000.0));
+        let cs = containers(&[(a, 2), (c, 2)]);
+        let r1 = sim.run(&w, &cs, &BTreeMap::new());
+        let r2 = sim.run(&w, &cs, &BTreeMap::new());
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(
+            r1.latency_percentile(s, 0.95),
+            r2.latency_percentile(s, 0.95)
+        );
+    }
+
+    #[test]
+    fn interference_slows_everything_down() {
+        let (app, [a, c], s) = chain_app();
+        let mut sim = Simulation::new(&app, quick_config());
+        sim.set_service_time(a, ServiceTimeModel::new(2.0, 0.2, 1.0, 0.5));
+        sim.set_service_time(c, ServiceTimeModel::new(2.0, 0.2, 1.0, 0.5));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(2_000.0));
+        let cs = containers(&[(a, 2), (c, 2)]);
+        sim.set_uniform_interference(Interference::new(0.1, 0.1));
+        let calm = sim.run(&w, &cs, &BTreeMap::new());
+        sim.set_uniform_interference(Interference::new(0.9, 0.9));
+        let busy = sim.run(&w, &cs, &BTreeMap::new());
+        assert!(
+            busy.latency_percentile(s, 0.95) > calm.latency_percentile(s, 0.95),
+            "interference must slow the service"
+        );
+    }
+
+    #[test]
+    fn parallel_stage_joins_before_next() {
+        let mut b = AppBuilder::new("par");
+        let root_ms = b.microservice("r", LatencyProfile::linear(0.0, 1.0), Resources::default());
+        let x = b.microservice("x", LatencyProfile::linear(0.0, 1.0), Resources::default());
+        let y = b.microservice("y", LatencyProfile::linear(0.0, 1.0), Resources::default());
+        let s = b.service("s", Sla::p95_ms(100.0), |g| {
+            let r = g.entry(root_ms);
+            g.call_par(r, &[x, y]);
+        });
+        let app = b.build().unwrap();
+        let mut config = quick_config();
+        config.duration_ms = 10_000.0;
+        config.warmup_ms = 0.0;
+        let mut sim = Simulation::new(&app, config);
+        sim.set_service_time(root_ms, ServiceTimeModel::new(1.0, 0.0, 0.0, 0.0));
+        sim.set_service_time(x, ServiceTimeModel::new(2.0, 0.0, 0.0, 0.0));
+        sim.set_service_time(y, ServiceTimeModel::new(8.0, 0.0, 0.0, 0.0));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let result = sim.run(
+            &w,
+            &containers(&[(root_ms, 2), (x, 2), (y, 2)]),
+            &BTreeMap::new(),
+        );
+        // E2E ≈ root 1ms + max(2, 8) + 2 network hops = ~9.2.
+        let p50 = result.latency_percentile(s, 0.5);
+        assert!((p50 - 9.2).abs() < 0.5, "p50 {p50}");
+    }
+}

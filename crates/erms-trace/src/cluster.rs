@@ -1,0 +1,265 @@
+//! Dynamic dependency-graph clustering — the future-work direction the
+//! paper sketches in §7/§9, implemented.
+//!
+//! Erms normally merges all dynamic graphs of a service into one *complete*
+//! graph and scales that, which over-provisions when each request actually
+//! touches only a small subset of the merged graph. The paper proposes to
+//! "cluster graphs into multiple classes and scale resources in each class
+//! instead of a complete graph". This module does exactly that:
+//!
+//! 1. group traces by exact structural signature (the multiset of call
+//!    paths);
+//! 2. greedily merge the most similar classes (Jaccard similarity over
+//!    path sets) until at most `max_classes` remain;
+//! 3. emit one merged graph per class together with its observed request
+//!    frequency, so the scaler can plan each class at its own share of the
+//!    workload.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use erms_core::graph::DependencyGraph;
+use erms_core::ids::{MicroserviceId, NodeId, ServiceId};
+
+use crate::extract::{merge_service_graphs, ExtractedGraph};
+use crate::span::Span;
+
+/// One class of structurally-similar dynamic graphs.
+#[derive(Debug, Clone)]
+pub struct GraphClass {
+    /// The union graph of the class's traces.
+    pub graph: DependencyGraph,
+    /// The service the traces belong to.
+    pub service: ServiceId,
+    /// Number of traces in this class.
+    pub members: usize,
+    /// Fraction of all clustered traces that fall into this class.
+    pub frequency: f64,
+}
+
+/// The call-path signature of a graph: the set of root-to-node
+/// microservice paths. Two graphs with the same signature are structurally
+/// identical for scaling purposes.
+pub fn signature(graph: &DependencyGraph) -> BTreeSet<Vec<MicroserviceId>> {
+    let mut out = BTreeSet::new();
+    fn walk(
+        graph: &DependencyGraph,
+        node: NodeId,
+        prefix: &mut Vec<MicroserviceId>,
+        out: &mut BTreeSet<Vec<MicroserviceId>>,
+    ) {
+        prefix.push(graph.node(node).microservice);
+        out.insert(prefix.clone());
+        for child in graph.node(node).children().collect::<Vec<_>>() {
+            walk(graph, child, prefix, out);
+        }
+        prefix.pop();
+    }
+    let mut prefix = Vec::new();
+    walk(graph, graph.root(), &mut prefix, &mut out);
+    out
+}
+
+/// Jaccard similarity of two path signatures.
+fn jaccard(a: &BTreeSet<Vec<MicroserviceId>>, b: &BTreeSet<Vec<MicroserviceId>>) -> f64 {
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    if union <= 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// Clusters a service's traces into at most `max_classes` structural
+/// classes (§7's proposed refinement over one complete graph).
+///
+/// Traces that cannot be parsed (no unique root) are skipped. Returns an
+/// empty vector when no trace parses.
+pub fn cluster_traces<'a, I>(traces: I, max_classes: usize) -> Vec<GraphClass>
+where
+    I: IntoIterator<Item = &'a [Span]>,
+{
+    // Phase 1: exact signature grouping.
+    struct Group<'a> {
+        sig: BTreeSet<Vec<MicroserviceId>>,
+        traces: Vec<&'a [Span]>,
+    }
+    let mut groups: Vec<Group<'a>> = Vec::new();
+    let mut by_sig: BTreeMap<Vec<Vec<MicroserviceId>>, usize> = BTreeMap::new();
+    for spans in traces {
+        let Some(extracted) = crate::extract::extract_trace_graph(spans) else {
+            continue;
+        };
+        let sig = signature(&extracted.graph);
+        let key: Vec<Vec<MicroserviceId>> = sig.iter().cloned().collect();
+        match by_sig.get(&key) {
+            Some(&idx) => groups[idx].traces.push(spans),
+            None => {
+                by_sig.insert(key, groups.len());
+                groups.push(Group {
+                    sig,
+                    traces: vec![spans],
+                });
+            }
+        }
+    }
+    if groups.is_empty() {
+        return Vec::new();
+    }
+
+    // Phase 2: greedy merge of the most similar pair until within budget.
+    let max_classes = max_classes.max(1);
+    while groups.len() > max_classes {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                let sim = jaccard(&groups[i].sig, &groups[j].sig);
+                if best.map_or(true, |(_, _, s)| sim > s) {
+                    best = Some((i, j, sim));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { break };
+        let absorbed = groups.swap_remove(j);
+        groups[i].sig.extend(absorbed.sig);
+        groups[i].traces.extend(absorbed.traces);
+    }
+
+    // Phase 3: per-class union graphs.
+    let total: usize = groups.iter().map(|g| g.traces.len()).sum();
+    groups
+        .into_iter()
+        .filter_map(|g| {
+            let members = g.traces.len();
+            let ExtractedGraph { graph, service, .. } =
+                merge_service_graphs(g.traces.into_iter())?;
+            Some(GraphClass {
+                graph,
+                service,
+                members,
+                frequency: members as f64 / total.max(1) as f64,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanId, SpanKind, TraceId};
+
+    fn ms(i: u32) -> MicroserviceId {
+        MicroserviceId::new(i)
+    }
+
+    /// Builds a two-level trace: root ms(0) calling each of `children`
+    /// sequentially.
+    fn trace(trace_id: u64, children: &[u32]) -> Vec<Span> {
+        let mut spans = Vec::new();
+        let root = SpanId(1);
+        spans.push(Span {
+            trace_id: TraceId(trace_id),
+            span_id: root,
+            parent: None,
+            microservice: ms(0),
+            service: ServiceId::new(0),
+            kind: SpanKind::Server,
+            start_ms: 0.0,
+            end_ms: 100.0,
+        });
+        for (k, &c) in children.iter().enumerate() {
+            let t0 = 10.0 + 20.0 * k as f64;
+            spans.push(Span {
+                trace_id: TraceId(trace_id),
+                span_id: SpanId(2 + 2 * k as u64),
+                parent: Some(root),
+                microservice: ms(c),
+                service: ServiceId::new(0),
+                kind: SpanKind::Client,
+                start_ms: t0,
+                end_ms: t0 + 10.0,
+            });
+            spans.push(Span {
+                trace_id: TraceId(trace_id),
+                span_id: SpanId(3 + 2 * k as u64),
+                parent: Some(root),
+                microservice: ms(c),
+                service: ServiceId::new(0),
+                kind: SpanKind::Server,
+                start_ms: t0 + 1.0,
+                end_ms: t0 + 9.0,
+            });
+        }
+        spans
+    }
+
+    #[test]
+    fn identical_traces_form_one_class() {
+        let a = trace(1, &[1, 2]);
+        let b = trace(2, &[1, 2]);
+        let classes = cluster_traces([a.as_slice(), b.as_slice()], 4);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].members, 2);
+        assert!((classes[0].frequency - 1.0).abs() < 1e-12);
+        assert_eq!(classes[0].graph.len(), 3);
+    }
+
+    #[test]
+    fn distinct_structures_form_distinct_classes() {
+        let a = trace(1, &[1]);
+        let b = trace(2, &[2, 3]);
+        let classes = cluster_traces([a.as_slice(), b.as_slice()], 4);
+        assert_eq!(classes.len(), 2);
+        let freqs: Vec<f64> = classes.iter().map(|c| c.frequency).collect();
+        assert!(freqs.iter().all(|&f| (f - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn class_budget_merges_most_similar() {
+        // {1,2}, {1,2,3} are similar; {7,8} is not. With budget 2 the
+        // first two merge.
+        let a = trace(1, &[1, 2]);
+        let b = trace(2, &[1, 2, 3]);
+        let c = trace(3, &[7, 8]);
+        let classes = cluster_traces([a.as_slice(), b.as_slice(), c.as_slice()], 2);
+        assert_eq!(classes.len(), 2);
+        let merged = classes.iter().find(|cl| cl.members == 2).expect("merged class");
+        // The merged class covers the union {1,2,3}.
+        assert_eq!(merged.graph.microservices().len(), 4); // root + 3
+        let singleton = classes.iter().find(|cl| cl.members == 1).unwrap();
+        assert_eq!(singleton.graph.microservices().len(), 3);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let traces: Vec<Vec<Span>> = (0..6)
+            .map(|i| trace(i, if i % 3 == 0 { &[1] } else { &[2] }))
+            .collect();
+        let classes = cluster_traces(traces.iter().map(Vec::as_slice), 8);
+        let total: f64 = classes.iter().map(|c| c.frequency).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(classes.iter().map(|c| c.members).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let classes = cluster_traces(std::iter::empty::<&[Span]>(), 4);
+        assert!(classes.is_empty());
+    }
+
+    #[test]
+    fn signature_distinguishes_depth() {
+        // 0 -> 1 -> 2 vs 0 -> {1, 2}: same microservices, different paths.
+        let mut g1 = erms_core::graph::GraphBuilder::new();
+        let r = g1.entry(ms(0));
+        let c1 = g1.call_seq(r, ms(1));
+        g1.call_seq(c1, ms(2));
+        let g1 = g1.build().unwrap();
+        let mut g2 = erms_core::graph::GraphBuilder::new();
+        let r = g2.entry(ms(0));
+        g2.call_seq(r, ms(1));
+        g2.call_seq(r, ms(2));
+        let g2 = g2.build().unwrap();
+        assert_ne!(signature(&g1), signature(&g2));
+    }
+}

@@ -1,0 +1,464 @@
+//! Dependency-graph extraction and per-microservice latency derivation
+//! (§5.1, Eq. 1).
+//!
+//! The Tracing Coordinator treats the microservice receiving user requests
+//! as the root, adds an edge per recorded call, and marks calls whose
+//! client spans overlap as *parallel*. From the same spans it derives each
+//! microservice's own latency by subtracting downstream response times from
+//! its server span (Eq. 1): per sequential stage, the *maximum* child
+//! response time is subtracted.
+//!
+//! One deviation from the paper's wording: we subtract child *client*-span
+//! durations (request sent → response received), so transmission latency is
+//! attributed to the downstream call rather than the caller. This is a
+//! constant per-call offset that the profiling model absorbs into the
+//! intercept `b`.
+
+use std::collections::BTreeMap;
+
+use erms_core::graph::{DependencyGraph, GraphBuilder};
+use erms_core::ids::{MicroserviceId, NodeId, ServiceId};
+
+use crate::span::{Span, SpanId, SpanKind};
+
+/// One microservice-latency observation extracted from a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyObservation {
+    /// The microservice the observation belongs to.
+    pub microservice: MicroserviceId,
+    /// The online service of the traced request.
+    pub service: ServiceId,
+    /// When the call arrived at the microservice (ms, simulation time).
+    pub at_ms: f64,
+    /// The microservice's own latency (queueing + processing) per Eq. (1).
+    pub latency_ms: f64,
+}
+
+/// Groups client spans into sequential stages: spans overlapping the
+/// running union interval join the current (parallel) stage, a gap starts a
+/// new stage. Spans must be sorted by start time.
+fn group_stages<'a>(mut children: Vec<&'a Span>) -> Vec<Vec<&'a Span>> {
+    children.sort_by(|a, b| {
+        a.start_ms
+            .partial_cmp(&b.start_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut stages: Vec<Vec<&Span>> = Vec::new();
+    let mut stage_end = f64::NEG_INFINITY;
+    for span in children {
+        if span.start_ms < stage_end {
+            stages.last_mut().expect("stage exists").push(span);
+        } else {
+            stages.push(vec![span]);
+        }
+        stage_end = stage_end.max(span.end_ms);
+    }
+    stages
+}
+
+fn children_of<'a>(spans: &'a [Span], parent: SpanId) -> Vec<&'a Span> {
+    spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Client && s.parent == Some(parent))
+        .collect()
+}
+
+/// The root server span of a trace (no parent), if present and unique.
+pub fn root_span(spans: &[Span]) -> Option<&Span> {
+    let mut roots = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Server && s.parent.is_none());
+    let first = roots.next()?;
+    if roots.next().is_some() {
+        return None;
+    }
+    Some(first)
+}
+
+/// Extracts every microservice's own latency from one trace (Eq. 1).
+pub fn own_latencies(spans: &[Span]) -> Vec<LatencyObservation> {
+    let mut out = Vec::new();
+    for server in spans.iter().filter(|s| s.kind == SpanKind::Server) {
+        let children = children_of(spans, server.span_id);
+        let downstream: f64 = group_stages(children)
+            .iter()
+            .map(|stage| {
+                stage
+                    .iter()
+                    .map(|s| s.duration_ms())
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        out.push(LatencyObservation {
+            microservice: server.microservice,
+            service: server.service,
+            at_ms: server.start_ms,
+            latency_ms: (server.duration_ms() - downstream).max(0.0),
+        });
+    }
+    out
+}
+
+/// A dependency graph extracted from traces, together with the mapping
+/// from graph nodes to trace call paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedGraph {
+    /// The reconstructed dependency graph.
+    pub graph: DependencyGraph,
+    /// The service the traces belong to.
+    pub service: ServiceId,
+    /// Number of traces that contributed.
+    pub traces_merged: usize,
+}
+
+/// Extracts the dependency graph of a single trace.
+///
+/// Returns `None` when the trace has no unique root server span.
+pub fn extract_trace_graph(spans: &[Span]) -> Option<ExtractedGraph> {
+    let root = root_span(spans)?;
+    let mut builder = GraphBuilder::new();
+    let root_node = builder.entry(root.microservice);
+    build_subtree(spans, root, root_node, &mut builder);
+    Some(ExtractedGraph {
+        graph: builder.build()?,
+        service: root.service,
+        traces_merged: 1,
+    })
+}
+
+fn build_subtree(spans: &[Span], server: &Span, node: NodeId, builder: &mut GraphBuilder) {
+    for stage in group_stages(children_of(spans, server.span_id)) {
+        let mss: Vec<MicroserviceId> = stage.iter().map(|s| s.microservice).collect();
+        let nodes = if mss.len() == 1 {
+            vec![builder.call_seq(node, mss[0])]
+        } else {
+            builder.call_par(node, &mss)
+        };
+        // Recurse into each call's server span: the server span whose
+        // parent is this server and whose microservice/time matches the
+        // client span.
+        for (client, child_node) in stage.iter().zip(nodes) {
+            if let Some(child_server) = spans.iter().find(|s| {
+                s.kind == SpanKind::Server
+                    && s.parent == Some(server.span_id)
+                    && s.microservice == client.microservice
+                    && s.start_ms >= client.start_ms - 1e-9
+                    && s.end_ms <= client.end_ms + 1e-9
+            }) {
+                build_subtree(spans, child_server, child_node, builder);
+            }
+        }
+    }
+}
+
+/// Merges the per-trace graphs of one service into a *complete* dependency
+/// graph (§7, "Handling dynamic dependencies"): the union of all observed
+/// call paths, with two children marked parallel if their client spans
+/// overlap in any contributing trace.
+///
+/// Call sites are keyed by the path of microservice ids from the root, so
+/// a microservice called from two different parents appears as two nodes,
+/// while the same call site across traces merges into one.
+pub fn merge_service_graphs<'a, I>(traces: I) -> Option<ExtractedGraph>
+where
+    I: IntoIterator<Item = &'a [Span]>,
+{
+    let mut nodes: BTreeMap<Path, UnionNode> = BTreeMap::new();
+    let mut root_ms: Option<MicroserviceId> = None;
+    let mut service = None;
+    let mut count = 0usize;
+
+    for spans in traces {
+        let Some(root) = root_span(spans) else {
+            continue;
+        };
+        if let Some(existing) = root_ms {
+            if existing != root.microservice {
+                continue; // not the same service entry point
+            }
+        } else {
+            root_ms = Some(root.microservice);
+            service = Some(root.service);
+        }
+        count += 1;
+        // Walk this trace, registering call paths.
+        let mut stack: Vec<(Path, &Span)> = vec![(vec![root.microservice], root)];
+        while let Some((path, server)) = stack.pop() {
+            let node = nodes.entry(path.clone()).or_default();
+            let children = children_of(spans, server.span_id);
+            // Register children and parallelism.
+            let mut child_indices: Vec<(usize, &Span)> = Vec::new();
+            for client in &children {
+                let mut child_path = path.clone();
+                child_path.push(client.microservice);
+                let idx = match node.children.iter().position(|p| *p == child_path) {
+                    Some(i) => i,
+                    None => {
+                        node.children.push(child_path.clone());
+                        node.children.len() - 1
+                    }
+                };
+                child_indices.push((idx, client));
+            }
+            for (i, (ia, sa)) in child_indices.iter().enumerate() {
+                for (ib, sb) in child_indices.iter().skip(i + 1) {
+                    if sa.overlaps(sb) {
+                        node.parallel.insert((*ia.min(ib), *ia.max(ib)));
+                    }
+                }
+            }
+            // Recurse.
+            for client in children {
+                if let Some(child_server) = spans.iter().find(|s| {
+                    s.kind == SpanKind::Server
+                        && s.parent == Some(server.span_id)
+                        && s.microservice == client.microservice
+                }) {
+                    let mut child_path = path.clone();
+                    child_path.push(client.microservice);
+                    stack.push((child_path, child_server));
+                }
+            }
+        }
+    }
+
+    let root_ms = root_ms?;
+    let mut builder = GraphBuilder::new();
+    let root_node = builder.entry(root_ms);
+    build_union(&nodes, vec![root_ms], root_node, &mut builder);
+    Some(ExtractedGraph {
+        graph: builder.build()?,
+        service: service?,
+        traces_merged: count,
+    })
+}
+
+/// A call path from the service root, identifying one call site across
+/// traces.
+type Path = Vec<MicroserviceId>;
+
+/// Union-tree node accumulated across traces.
+#[derive(Default)]
+struct UnionNode {
+    /// Child call paths in first-seen order.
+    children: Vec<Path>,
+    /// Pairs of child indices observed to execute in parallel.
+    parallel: std::collections::BTreeSet<(usize, usize)>,
+}
+
+fn build_union(
+    nodes: &BTreeMap<Path, UnionNode>,
+    path: Path,
+    node: NodeId,
+    builder: &mut GraphBuilder,
+) {
+    let Some(union) = nodes.get(&path) else {
+        return;
+    };
+    // Group children into stages: union-find over observed-parallel pairs,
+    // groups ordered by first-seen child index.
+    let n = union.children.len();
+    let mut group = (0..n).collect::<Vec<usize>>();
+    fn find(group: &mut [usize], i: usize) -> usize {
+        if group[i] != i {
+            let root = find(group, group[i]);
+            group[i] = root;
+        }
+        group[i]
+    }
+    for &(a, b) in &union.parallel {
+        let (ra, rb) = (find(&mut group, a), find(&mut group, b));
+        if ra != rb {
+            group[ra.max(rb)] = ra.min(rb);
+        }
+    }
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    let mut stage_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut group, i);
+        match stage_of.get(&root) {
+            Some(&s) => stages[s].push(i),
+            None => {
+                stage_of.insert(root, stages.len());
+                stages.push(vec![i]);
+            }
+        }
+    }
+    for stage in stages {
+        let mss: Vec<MicroserviceId> = stage
+            .iter()
+            .map(|&i| *union.children[i].last().expect("non-empty path"))
+            .collect();
+        let ids = if mss.len() == 1 {
+            vec![builder.call_seq(node, mss[0])]
+        } else {
+            builder.call_par(node, &mss)
+        };
+        for (&i, child_node) in stage.iter().zip(ids) {
+            build_union(nodes, union.children[i].clone(), child_node, builder);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceId;
+
+    fn ms(i: u32) -> MicroserviceId {
+        MicroserviceId::new(i)
+    }
+
+    struct SpanFactory {
+        next_id: u64,
+        trace: u64,
+        spans: Vec<Span>,
+    }
+
+    impl SpanFactory {
+        fn new(trace: u64) -> Self {
+            Self {
+                next_id: 1,
+                trace,
+                spans: Vec::new(),
+            }
+        }
+
+        fn server(
+            &mut self,
+            parent: Option<SpanId>,
+            m: u32,
+            start: f64,
+            end: f64,
+        ) -> SpanId {
+            let id = SpanId(self.next_id);
+            self.next_id += 1;
+            self.spans.push(Span {
+                trace_id: TraceId(self.trace),
+                span_id: id,
+                parent,
+                microservice: ms(m),
+                service: ServiceId::new(0),
+                kind: SpanKind::Server,
+                start_ms: start,
+                end_ms: end,
+            });
+            id
+        }
+
+        fn client(&mut self, parent: SpanId, m: u32, start: f64, end: f64) {
+            let id = SpanId(self.next_id);
+            self.next_id += 1;
+            self.spans.push(Span {
+                trace_id: TraceId(self.trace),
+                span_id: id,
+                parent: Some(parent),
+                microservice: ms(m),
+                service: ServiceId::new(0),
+                kind: SpanKind::Client,
+                start_ms: start,
+                end_ms: end,
+            });
+        }
+    }
+
+    /// Fig. 1 / Fig. 7-style trace: T serves [0,100]; calls Url [10,40] and
+    /// U [12,50] in parallel, then C [55,80].
+    fn fig7_trace() -> Vec<Span> {
+        let mut f = SpanFactory::new(1);
+        let t = f.server(None, 0, 0.0, 100.0);
+        f.client(t, 1, 10.0, 40.0);
+        f.server(Some(t), 1, 11.0, 39.0);
+        f.client(t, 2, 12.0, 50.0);
+        f.server(Some(t), 2, 13.0, 49.0);
+        f.client(t, 3, 55.0, 80.0);
+        f.server(Some(t), 3, 56.0, 79.0);
+        f.spans
+    }
+
+    #[test]
+    fn eq1_subtracts_stage_maxima() {
+        let spans = fig7_trace();
+        let obs = own_latencies(&spans);
+        let t_obs = obs.iter().find(|o| o.microservice == ms(0)).unwrap();
+        // T's own latency: 100 − max(30, 38) − 25 = 37.
+        assert!((t_obs.latency_ms - 37.0).abs() < 1e-9, "{}", t_obs.latency_ms);
+        // Leaves keep their full server duration.
+        let url_obs = obs.iter().find(|o| o.microservice == ms(1)).unwrap();
+        assert!((url_obs.latency_ms - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extracts_parallel_then_sequential_structure() {
+        let spans = fig7_trace();
+        let extracted = extract_trace_graph(&spans).unwrap();
+        let g = &extracted.graph;
+        assert_eq!(g.len(), 4);
+        let root = g.node(g.root());
+        assert_eq!(root.microservice, ms(0));
+        assert_eq!(root.stages.len(), 2, "parallel stage then C");
+        assert_eq!(root.stages[0].len(), 2);
+        assert_eq!(root.stages[1].len(), 1);
+        // Critical paths: {T,Url,C} and {T,U,C}.
+        assert_eq!(g.critical_paths().len(), 2);
+    }
+
+    #[test]
+    fn no_root_returns_none() {
+        let mut f = SpanFactory::new(1);
+        let t = f.server(None, 0, 0.0, 10.0);
+        f.server(None, 1, 0.0, 10.0); // second root
+        f.client(t, 1, 1.0, 2.0);
+        assert!(extract_trace_graph(&f.spans).is_none());
+    }
+
+    #[test]
+    fn merge_unions_dynamic_graphs() {
+        // Trace A: T -> X. Trace B: T -> Y. Complete graph: T -> {X, Y}.
+        let mut a = SpanFactory::new(1);
+        let t = a.server(None, 0, 0.0, 50.0);
+        a.client(t, 1, 10.0, 20.0);
+        a.server(Some(t), 1, 11.0, 19.0);
+        let mut b = SpanFactory::new(2);
+        let t2 = b.server(None, 0, 0.0, 50.0);
+        b.client(t2, 2, 10.0, 20.0);
+        b.server(Some(t2), 2, 11.0, 19.0);
+        let merged =
+            merge_service_graphs([a.spans.as_slice(), b.spans.as_slice()]).unwrap();
+        assert_eq!(merged.traces_merged, 2);
+        assert_eq!(merged.graph.len(), 3);
+        assert_eq!(merged.graph.microservices().len(), 3);
+    }
+
+    #[test]
+    fn merge_detects_parallelism_across_traces() {
+        // In trace A the two calls happen to be disjoint in time; in trace
+        // B they overlap, so the union marks them parallel.
+        let mut a = SpanFactory::new(1);
+        let t = a.server(None, 0, 0.0, 50.0);
+        a.client(t, 1, 5.0, 10.0);
+        a.server(Some(t), 1, 6.0, 9.0);
+        a.client(t, 2, 20.0, 30.0);
+        a.server(Some(t), 2, 21.0, 29.0);
+        let mut b = SpanFactory::new(2);
+        let t2 = b.server(None, 0, 0.0, 50.0);
+        b.client(t2, 1, 5.0, 15.0);
+        b.server(Some(t2), 1, 6.0, 14.0);
+        b.client(t2, 2, 8.0, 20.0);
+        b.server(Some(t2), 2, 9.0, 19.0);
+        let merged =
+            merge_service_graphs([a.spans.as_slice(), b.spans.as_slice()]).unwrap();
+        let root = merged.graph.node(merged.graph.root());
+        assert_eq!(root.stages.len(), 1, "one parallel stage");
+        assert_eq!(root.stages[0].len(), 2);
+    }
+
+    #[test]
+    fn stage_grouping_by_overlap() {
+        let spans = fig7_trace();
+        let root = root_span(&spans).unwrap();
+        let stages = group_stages(children_of(&spans, root.span_id));
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].len(), 2);
+    }
+}

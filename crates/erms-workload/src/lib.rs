@@ -1,0 +1,19 @@
+//! Workload generators, DeathStarBench-like application topologies and
+//! iBench-like interference profiles (§6.1).
+//!
+//! * [`apps`] — the three benchmark applications the paper evaluates on:
+//!   Social Network (36 microservices, 3 services, 3 shared), Media
+//!   Service (38, 1) and Hotel Reservation (15, 4, 3 shared);
+//! * [`static_load`] — the static workload levels (600–100 000 req/min)
+//!   and SLA settings (50–200 ms) of §6.1;
+//! * [`dynamic`] — Alibaba-shaped dynamic workload series (diurnal pattern
+//!   plus bursts) used in §6.3.2;
+//! * [`interference`] — iBench-like interference levels for §6.2/§6.4.3.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod apps;
+pub mod dynamic;
+pub mod interference;
+pub mod static_load;

@@ -1,0 +1,68 @@
+//! Static workload levels and SLA settings of the paper's evaluation
+//! (§6.1): per-service request rates from 600 (low) to 100 000 (high)
+//! requests per minute, and P95 SLA targets from 50 ms (low) to 200 ms
+//! (high).
+
+use erms_core::app::RequestRate;
+
+/// The static workload sweep of §6.3.1, in requests per minute.
+pub fn workload_levels() -> Vec<RequestRate> {
+    [600.0, 2_000.0, 6_000.0, 12_000.0, 25_000.0, 40_000.0, 60_000.0, 100_000.0]
+        .into_iter()
+        .map(RequestRate::per_minute)
+        .collect()
+}
+
+/// The SLA sweep of §6.1, in milliseconds (P95 end-to-end latency).
+pub fn sla_levels() -> Vec<f64> {
+    vec![50.0, 100.0, 150.0, 200.0]
+}
+
+/// Classification of a workload level relative to the sweep (used to
+/// bucket results the way the paper labels "low"/"high" workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBand {
+    /// ≤ 6 000 req/min.
+    Low,
+    /// 6 000–40 000 req/min.
+    Medium,
+    /// > 40 000 req/min.
+    High,
+}
+
+/// Buckets a rate into a [`LoadBand`].
+pub fn band(rate: RequestRate) -> LoadBand {
+    let per_min = rate.as_per_minute();
+    if per_min <= 6_000.0 {
+        LoadBand::Low
+    } else if per_min <= 40_000.0 {
+        LoadBand::Medium
+    } else {
+        LoadBand::High
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        let levels = workload_levels();
+        assert_eq!(levels.first().unwrap().as_per_minute(), 600.0);
+        assert_eq!(levels.last().unwrap().as_per_minute(), 100_000.0);
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sla_levels_match_paper() {
+        assert_eq!(sla_levels(), vec![50.0, 100.0, 150.0, 200.0]);
+    }
+
+    #[test]
+    fn banding() {
+        assert_eq!(band(RequestRate::per_minute(600.0)), LoadBand::Low);
+        assert_eq!(band(RequestRate::per_minute(20_000.0)), LoadBand::Medium);
+        assert_eq!(band(RequestRate::per_minute(100_000.0)), LoadBand::High);
+    }
+}

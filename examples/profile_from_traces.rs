@@ -1,0 +1,143 @@
+//! The full Erms pipeline, closed loop (§3):
+//!
+//! 1. run the workload on the discrete-event cluster and collect Jaeger-
+//!    style spans (Tracing Coordinator);
+//! 2. extract the dependency graph and per-microservice latencies from the
+//!    spans (Eq. 1) and aggregate per-minute profiling samples;
+//! 3. fit piecewise-linear latency profiles (Offline Profiling);
+//! 4. rebuild the application from *learned* profiles, plan with Erms
+//!    (Online Scaling), and validate the plan back in the simulator.
+//!
+//! Run with `cargo run --release --example profile_from_traces`.
+
+use std::collections::BTreeMap;
+
+use erms::core::prelude::*;
+use erms::profilers::piecewise::PiecewiseFitter;
+use erms::profilers::dataset::Sample;
+use erms::sim::runtime::{SimConfig, Simulation};
+use erms::sim::service_time::ServiceTimeModel;
+use erms::trace::aggregate::per_minute_observations;
+use erms::trace::extract::{merge_service_graphs, own_latencies};
+
+fn main() -> Result<()> {
+    // The "real" system: a front end calling a backend, whose true
+    // behaviour is only visible through traces.
+    let mut b = AppBuilder::new("closed-loop");
+    let front = b.microservice("front", LatencyProfile::linear(0.001, 1.0), Resources::default());
+    let back = b.microservice("back", LatencyProfile::linear(0.001, 1.0), Resources::default());
+    let svc = b.service("api", Sla::p95_ms(60.0), |g| {
+        let root = g.entry(front);
+        g.call_seq(root, back);
+    });
+    let app = b.build()?;
+
+    // --- 1. Profiling runs at several load levels. ---
+    let containers: BTreeMap<_, _> = [(front, 1u32), (back, 1)].into_iter().collect();
+    let mut samples_per_ms: BTreeMap<MicroserviceId, Vec<Sample>> = BTreeMap::new();
+    let itf = Interference::new(0.3, 0.3);
+    for (i, rate) in [4_000.0, 10_000.0, 16_000.0, 22_000.0, 26_000.0]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sim = Simulation::new(
+            &app,
+            SimConfig {
+                duration_ms: 220_000.0,
+                warmup_ms: 20_000.0,
+                seed: 10 + i as u64,
+                trace_sampling: 0.1, // Jaeger's 10% (§5.1)
+                default_threads: 2,
+                ..SimConfig::default()
+            },
+        );
+        sim.set_service_time(front, ServiceTimeModel::new(2.0, 0.5, 1.0, 0.8));
+        sim.set_service_time(back, ServiceTimeModel::new(3.0, 0.5, 1.0, 0.8));
+        sim.set_uniform_interference(itf);
+        let mut w = WorkloadVector::new();
+        w.set(svc, RequestRate::per_minute(rate));
+        let result = sim.run(&w, &containers, &BTreeMap::new());
+
+        // --- 2. Tracing Coordinator: graphs + latencies from spans. ---
+        let traces: Vec<&[erms::trace::span::Span]> =
+            result.trace_store.iter().map(|(_, s)| s).collect();
+        if i == 0 {
+            let extracted = merge_service_graphs(traces.clone()).expect("traces recorded");
+            println!(
+                "extracted dependency graph from {} sampled traces: {} nodes (true graph: {})",
+                extracted.traces_merged,
+                extracted.graph.len(),
+                app.service(svc)?.graph.len()
+            );
+        }
+        let mut observations = Vec::new();
+        for spans in traces {
+            observations.extend(own_latencies(spans));
+        }
+        for obs in per_minute_observations(&observations, &containers, itf, 0.95) {
+            samples_per_ms.entry(obs.microservice).or_default().push(Sample::new(
+                obs.p95_ms,
+                obs.calls_per_container,
+                obs.cpu,
+                obs.mem,
+            ));
+        }
+    }
+
+    // --- 3. Offline profiling. ---
+    let mut learned = AppBuilder::new("closed-loop-learned");
+    let mut id_map = BTreeMap::new();
+    for (ms, m) in app.microservices() {
+        let samples = &samples_per_ms[&ms];
+        let profile = PiecewiseFitter::default().fit(samples).expect("fit");
+        println!(
+            "learned profile for {}: {:.1} ms @ 500 calls/min/ctn, knee {:.0} calls/min/ctn",
+            m.name,
+            profile.eval(500.0, itf),
+            profile.cutoff_at(itf)
+        );
+        id_map.insert(ms, learned.microservice(&m.name, profile, m.resources));
+    }
+    let learned_svc = learned.service("api", Sla::p95_ms(60.0), |g| {
+        let root = g.entry(id_map[&front]);
+        g.call_seq(root, id_map[&back]);
+    });
+    let learned_app = learned.build()?;
+
+    // --- 4. Online scaling on the learned model, validated in the DES. ---
+    let mut w = WorkloadVector::new();
+    w.set(learned_svc, RequestRate::per_minute(60_000.0));
+    let plan = ErmsScaler::new(&learned_app).plan(&w, itf)?;
+    println!(
+        "\nplan for 60k req/min: front={} back={} containers",
+        plan.containers(id_map[&front]),
+        plan.containers(id_map[&back])
+    );
+
+    let mut sim = Simulation::new(
+        &app,
+        SimConfig {
+            duration_ms: 120_000.0,
+            warmup_ms: 20_000.0,
+            seed: 99,
+            trace_sampling: 0.0,
+            default_threads: 2,
+            ..SimConfig::default()
+        },
+    );
+    sim.set_service_time(front, ServiceTimeModel::new(2.0, 0.5, 1.0, 0.8));
+    sim.set_service_time(back, ServiceTimeModel::new(3.0, 0.5, 1.0, 0.8));
+    sim.set_uniform_interference(itf);
+    let validation: BTreeMap<_, _> = [
+        (front, plan.containers(id_map[&front])),
+        (back, plan.containers(id_map[&back])),
+    ]
+    .into_iter()
+    .collect();
+    let mut wv = WorkloadVector::new();
+    wv.set(svc, RequestRate::per_minute(60_000.0));
+    let result = sim.run(&wv, &validation, &BTreeMap::new());
+    let p95 = result.latency_percentile(svc, 0.95);
+    println!("validated in the simulator: P95 = {p95:.1} ms (SLA 60 ms)");
+    Ok(())
+}

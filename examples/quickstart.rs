@@ -1,0 +1,64 @@
+//! Quickstart: define a small application, compute an SLA-optimal scaling
+//! plan with Erms, and verify it against the latency model.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use erms::core::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Describe the application: microservices with piecewise-linear
+    //    latency profiles (slope in ms per call/min per container), and
+    //    services with SLAs and dependency graphs.
+    let mut builder = AppBuilder::new("quickstart");
+    let frontend = builder.microservice(
+        "frontend",
+        LatencyProfile::kneed(0.002, 1.0, 0.012, 1200.0),
+        Resources::default(),
+    );
+    let logic = builder.microservice(
+        "logic",
+        LatencyProfile::kneed(0.004, 2.0, 0.03, 900.0),
+        Resources::default(),
+    );
+    let cache = builder.microservice(
+        "cache",
+        LatencyProfile::kneed(0.001, 0.3, 0.006, 1800.0),
+        Resources::default(),
+    );
+    let db = builder.microservice(
+        "database",
+        LatencyProfile::kneed(0.008, 2.5, 0.05, 700.0),
+        Resources::default(),
+    );
+    let read_api = builder.service("read-api", Sla::p95_ms(100.0), |g| {
+        let root = g.entry(frontend);
+        let l = g.call_seq(root, logic);
+        // The cache and the database are queried in parallel.
+        g.call_par(l, &[cache, db]);
+    });
+    let app = builder.build()?;
+
+    // 2. Observe a workload and the current cluster interference.
+    let mut workloads = WorkloadVector::new();
+    workloads.set(read_api, RequestRate::per_minute(30_000.0));
+    let interference = Interference::new(0.35, 0.30);
+
+    // 3. Compute the plan: optimal latency targets (Eq. 5 over the merged
+    //    graph) and container counts.
+    let plan = ErmsScaler::new(&app).plan(&workloads, interference)?;
+
+    println!("scaling plan for {:?} @ 30k req/min:", app.name());
+    for (ms, m) in app.microservices() {
+        println!("  {:<10} -> {:>3} containers", m.name, plan.containers(ms));
+    }
+    println!("  total: {} containers", plan.total_containers());
+
+    // 4. Check the plan against the latency model.
+    let predicted = service_latency(&app, &plan, &workloads, read_api, &interference)?;
+    println!(
+        "predicted P95 end-to-end latency: {predicted:.1} ms (SLA: 100 ms)"
+    );
+    assert!(plan_meets_slas(&app, &plan, &workloads, &interference)?);
+    println!("SLA satisfied.");
+    Ok(())
+}

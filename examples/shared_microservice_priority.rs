@@ -1,0 +1,90 @@
+//! Shared-microservice priority scheduling, end to end (§2.3 / Fig. 5).
+//!
+//! Two services share `postStorage`. The example compares FCFS sharing,
+//! non-sharing partitioning, and Erms priority scheduling analytically
+//! (Theorem 1), computes the full priority plan, and validates it in the
+//! discrete-event simulator.
+//!
+//! Run with `cargo run --release --example shared_microservice_priority`.
+
+use std::collections::BTreeMap;
+
+use erms::core::multiplexing::SharingScenario;
+use erms::core::prelude::*;
+use erms::sim::runtime::{SimConfig, Simulation};
+use erms::sim::service_time::ServiceTimeModel;
+use erms::workload::apps::fig5_app;
+
+fn main() -> Result<()> {
+    let (app, [u, h, p], [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.45, 0.40);
+
+    // --- Analytic comparison (Theorem 1). ---
+    let params = |ms: MicroserviceId| {
+        let lp = app.microservice(ms)?.profile.params(Interval::High, itf);
+        Ok::<_, Error>((lp.a, lp.b.max(0.0), 0.1))
+    };
+    let scenario = SharingScenario {
+        u: params(u)?,
+        h: params(h)?,
+        p: params(p)?,
+        gamma1: 40_000.0,
+        gamma2: 40_000.0,
+        sla1: 300.0,
+        sla2: 300.0,
+    };
+    let cmp = scenario.compare().expect("feasible");
+    println!("analytic CPU cores needed (Theorem 1):");
+    println!("  FCFS sharing : {:.2}", cmp.sharing_fcfs);
+    println!("  non-sharing  : {:.2}", cmp.non_sharing);
+    println!("  priority     : {:.2}", cmp.priority);
+
+    // --- The full Erms plan with priorities. ---
+    let mut w = WorkloadVector::new();
+    w.set(s1, RequestRate::per_minute(40_000.0));
+    w.set(s2, RequestRate::per_minute(40_000.0));
+    let plan = ErmsScaler::new(&app).plan(&w, itf)?;
+    println!(
+        "\npriority order at postStorage: {:?} (more latency-sensitive service first)",
+        plan.priority_order(p)
+    );
+    for (ms, m) in app.microservices() {
+        println!("  {:<14} {:>3} containers", m.name, plan.containers(ms));
+    }
+
+    // --- Validate in the discrete-event simulator. ---
+    let mut sim = Simulation::new(
+        &app,
+        SimConfig {
+            duration_ms: 60_000.0,
+            warmup_ms: 10_000.0,
+            default_threads: 4,
+            ..SimConfig::default()
+        },
+    );
+    for (ms, m) in app.microservices() {
+        let (model, threads) =
+            erms::sim::service_time::derive_from_profile(&m.profile, itf, 0.75);
+        sim.set_service_time(ms, model);
+        sim.set_threads(ms, threads);
+        let _ = &m.name;
+    }
+    sim.set_uniform_interference(itf);
+    let containers: BTreeMap<_, _> = app.microservices().map(|(ms, _)| (ms, plan.containers(ms))).collect();
+    let mut priorities = BTreeMap::new();
+    if let Some(order) = plan.priority_order(p) {
+        priorities.insert(p, order.to_vec());
+    }
+    let result = sim.run(&w, &containers, &priorities);
+    println!("\nsimulated end-to-end P95:");
+    for (sid, svc) in app.services() {
+        println!(
+            "  {:<8} {:.1} ms (SLA {:.0} ms)",
+            svc.name,
+            result.latency_percentile(sid, 0.95),
+            svc.sla.threshold_ms
+        );
+    }
+    let _ = ServiceTimeModel::default();
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Scaling the Social Network benchmark across workloads and schemes —
+//! a miniature of the paper's §6.3.1 evaluation.
+//!
+//! Run with `cargo run --release --example social_network_scaling`.
+
+use erms::baselines::{Firm, GrandSlam, Rhythm};
+use erms::core::prelude::*;
+use erms::workload::apps::social_network;
+
+fn main() -> Result<()> {
+    let bench = social_network(200.0);
+    let app = &bench.app;
+    let itf = Interference::new(0.45, 0.40);
+    let config = ScalerConfig::default();
+
+    println!(
+        "{}: {} microservices, {} services, shared: {:?}",
+        app.name(),
+        app.microservice_count(),
+        app.service_count(),
+        bench
+            .shared
+            .iter()
+            .map(|&ms| app.microservice(ms).map(|m| m.name.clone()).unwrap_or_default())
+            .collect::<Vec<_>>()
+    );
+
+    println!(
+        "\n{:>10}  {:>6} {:>6} {:>10} {:>7}",
+        "req/min", "erms", "firm", "grandslam", "rhythm"
+    );
+    for rate in [2_000.0, 10_000.0, 40_000.0, 100_000.0] {
+        let w = WorkloadVector::uniform(app, RequestRate::per_minute(rate));
+        let ctx = ScalingContext {
+            app,
+            workloads: &w,
+            interference: itf,
+            config: &config,
+        };
+        let mut erms = Erms::new();
+        let mut firm = Firm::new();
+        let mut grandslam = GrandSlam::new();
+        let mut rhythm = Rhythm::new();
+        // Firm is a feedback controller: give it rounds to converge.
+        let mut firm_plan = firm.plan(&ctx)?;
+        for _ in 0..8 {
+            firm_plan = firm.plan(&ctx)?;
+        }
+        println!(
+            "{:>10}  {:>6} {:>6} {:>10} {:>7}",
+            rate,
+            erms.plan(&ctx)?.total_containers(),
+            firm_plan.total_containers(),
+            grandslam.plan(&ctx)?.total_containers(),
+            rhythm.plan(&ctx)?.total_containers(),
+        );
+    }
+
+    // Show where Erms spends the SLA on the heaviest service.
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(40_000.0));
+    let plan = ErmsScaler::new(app).plan(&w, itf)?;
+    let compose = app.service_by_name("compose-post").expect("exists");
+    if let Some(sp) = plan.service_plan(compose) {
+        println!("\nlatency targets for compose-post (SLA 200 ms):");
+        let mut targets: Vec<_> = sp.ms_targets_ms.iter().collect();
+        targets.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+        for (&ms, &t) in targets.iter().take(8) {
+            println!("  {:<22} {:>6.1} ms", app.microservice(ms)?.name, t);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Trace-driven scaling at Alibaba scale (§6.5): generate a Taobao-like
+//! application (hundreds of services, heavy microservice sharing), plan
+//! with Erms, and report sharing statistics and plan shape.
+//!
+//! Run with `cargo run --release --example trace_driven_taobao`.
+
+use erms::core::prelude::*;
+use erms::trace::alibaba::{generate, AlibabaConfig};
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() -> Result<()> {
+    // A scaled-down Taobao (the full preset runs in the fig16 bench).
+    let generated = generate(&AlibabaConfig {
+        services: 200,
+        microservice_pool: 1_200,
+        avg_nodes_per_service: 40,
+        ..AlibabaConfig::taobao(42)
+    });
+    let app = &generated.app;
+    println!(
+        "generated {}: {} services, {} referenced microservices, {} shared",
+        app.name(),
+        app.service_count(),
+        generated.sharing_counts.len(),
+        generated.shared_count()
+    );
+    for (threshold, frac) in generated.sharing_cdf(&[1, 10, 50, 100]) {
+        println!("  shared by <= {threshold:>3} services: {:.0}%", frac * 100.0);
+    }
+
+    // Random per-service workloads.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut w = WorkloadVector::new();
+    for (sid, _) in app.services() {
+        w.set(sid, RequestRate::per_minute(rng.gen_range(1_000.0..10_000.0)));
+    }
+
+    let started = Instant::now();
+    let plan = ErmsScaler::new(app).plan(&w, Interference::new(0.45, 0.40))?;
+    let elapsed = started.elapsed();
+    println!(
+        "\nplanned {} containers across {} microservices in {:.1} ms",
+        plan.total_containers(),
+        plan.microservices().count(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "priority orders configured at {} shared microservices",
+        app.shared_microservices()
+            .iter()
+            .filter(|&&ms| plan.priority_order(ms).is_some())
+            .count()
+    );
+    assert!(plan_meets_slas(
+        app,
+        &plan,
+        &w,
+        &Interference::new(0.45, 0.40)
+    )?);
+    println!("all {} SLAs satisfied in-model", app.service_count());
+    Ok(())
+}

@@ -1,0 +1,295 @@
+//! `erms-cli` — explore the Erms reproduction from the command line.
+//!
+//! ```console
+//! erms-cli plan --app social-network --rate 40000 --sla 200 [--fcfs]
+//! erms-cli compare --app hotel-reservation --rate 25000 --sla 150
+//! erms-cli sharing --services 1000
+//! erms-cli simulate --rate 40000 --sla 300 [--delta 0.05]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set to the approved offline crates.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use erms::baselines::{Firm, GrandSlam, Rhythm};
+use erms::core::prelude::*;
+use erms::sim::runtime::{SimConfig, Simulation};
+use erms::sim::service_time::derive_from_profile;
+use erms::trace::alibaba::{generate, AlibabaConfig};
+use erms::workload::apps::{self, BenchmarkApp};
+
+/// Parsed `--key value` arguments.
+struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut values = BTreeMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let arg = &raw[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Self { values, flags }
+    }
+
+    fn f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn benchmark_app(name: &str, sla: f64) -> Option<BenchmarkApp> {
+    match name {
+        "social-network" => Some(apps::social_network(sla)),
+        "media-service" => Some(apps::media_service(sla)),
+        "hotel-reservation" => Some(apps::hotel_reservation(sla)),
+        _ => None,
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: erms-cli <command> [--key value ...]\n\
+         \n\
+         commands:\n\
+           plan      compute an Erms scaling plan\n\
+                     --app social-network|media-service|hotel-reservation\n\
+                     --rate <req/min> --sla <ms> --cpu <0..1> --mem <0..1> [--fcfs]\n\
+           compare   compare Erms against Firm/GrandSLAm/Rhythm\n\
+                     (same options as plan)\n\
+           sharing   print the microservice-sharing CDF of a synthetic\n\
+                     Alibaba-like topology  --services N --pool N --seed N\n\
+           simulate  run the Fig. 5 sharing scenario in the discrete-event\n\
+                     simulator  --rate <req/min> --sla <ms> --delta <0..1>"
+    );
+}
+
+fn cmd_plan(args: &Args) -> Result<()> {
+    let sla = args.f64("sla", 200.0);
+    let app_name = args.str("app", "social-network");
+    let Some(bench) = benchmark_app(&app_name, sla) else {
+        eprintln!("unknown app {app_name:?}");
+        return Ok(());
+    };
+    let app = &bench.app;
+    let rate = args.f64("rate", 20_000.0);
+    let itf = Interference::new(args.f64("cpu", 0.45), args.f64("mem", 0.40));
+    let mode = if args.flag("fcfs") {
+        SchedulingMode::Fcfs
+    } else {
+        SchedulingMode::Priority
+    };
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(rate));
+    let plan = ErmsScaler::new(app).with_mode(mode).plan(&w, itf)?;
+    println!(
+        "{} @ {rate} req/min per service, SLA {sla} ms, interference ({:.0}%, {:.0}%):",
+        app.name(),
+        itf.cpu * 100.0,
+        itf.memory * 100.0
+    );
+    let mut rows: Vec<(String, u32)> = app
+        .microservices()
+        .map(|(ms, m)| (m.name.clone(), plan.containers(ms)))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    for (name, n) in rows.iter().take(12) {
+        println!("  {name:<24} {n:>5}");
+    }
+    if rows.len() > 12 {
+        println!("  ... {} more microservices", rows.len() - 12);
+    }
+    println!("  total: {} containers", plan.total_containers());
+    for ms in app.shared_microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            let names: Vec<String> = order
+                .iter()
+                .map(|&s| app.service(s).map(|x| x.name.clone()).unwrap_or_default())
+                .collect();
+            println!(
+                "  priority at {:<18} {}",
+                app.microservice(ms)?.name,
+                names.join(" > ")
+            );
+        }
+    }
+    let ok = plan_meets_slas(app, &plan, &w, &itf)?;
+    println!("  SLAs satisfied in-model: {ok}");
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<()> {
+    let sla = args.f64("sla", 200.0);
+    let app_name = args.str("app", "social-network");
+    let Some(bench) = benchmark_app(&app_name, sla) else {
+        eprintln!("unknown app {app_name:?}");
+        return Ok(());
+    };
+    let app = &bench.app;
+    let rate = args.f64("rate", 20_000.0);
+    let itf = Interference::new(args.f64("cpu", 0.45), args.f64("mem", 0.40));
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(rate));
+    let config = ScalerConfig::default();
+    let ctx = ScalingContext {
+        app,
+        workloads: &w,
+        interference: itf,
+        config: &config,
+    };
+    let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
+        Box::new(Erms::new()),
+        Box::new(Firm::new()),
+        Box::new(GrandSlam::new()),
+        Box::new(Rhythm::new()),
+    ];
+    println!("{:<12} {:>10} {:>14}", "scheme", "containers", "SLAs met");
+    for scheme in &mut schemes {
+        let rounds = if scheme.name() == "firm" { 8 } else { 1 };
+        let mut plan = scheme.plan(&ctx)?;
+        for _ in 1..rounds {
+            plan = scheme.plan(&ctx)?;
+        }
+        let ok = plan_meets_slas(app, &plan, &w, &itf)?;
+        println!(
+            "{:<12} {:>10} {:>14}",
+            scheme.name(),
+            plan.total_containers(),
+            ok
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sharing(args: &Args) {
+    let config = AlibabaConfig {
+        services: args.usize("services", 1000),
+        microservice_pool: args.usize("pool", 20_000),
+        seed: args.usize("seed", 2023) as u64,
+        ..AlibabaConfig::fig2(2023)
+    };
+    let generated = generate(&config);
+    println!(
+        "{} services, {} referenced microservices, {} shared",
+        config.services,
+        generated.sharing_counts.len(),
+        generated.shared_count()
+    );
+    for (t, cdf) in generated.sharing_cdf(&[1, 2, 5, 10, 50, 100, 200, 500]) {
+        println!("  shared by <= {t:>4} services: {:>5.1}%", cdf * 100.0);
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<()> {
+    let sla = args.f64("sla", 300.0);
+    let rate = args.f64("rate", 40_000.0);
+    let delta = args.f64("delta", 0.05);
+    let (app, _, [s1, s2]) = apps::fig5_app(sla);
+    let itf = Interference::new(args.f64("cpu", 0.45), args.f64("mem", 0.40));
+    let mut w = WorkloadVector::new();
+    w.set(s1, RequestRate::per_minute(rate));
+    w.set(s2, RequestRate::per_minute(rate));
+    let plan = ErmsScaler::new(&app).plan(&w, itf)?;
+    println!(
+        "plan: {} containers, running discrete-event validation (delta = {delta})...",
+        plan.total_containers()
+    );
+    let mut sim = Simulation::new(
+        &app,
+        SimConfig {
+            duration_ms: 90_000.0,
+            warmup_ms: 15_000.0,
+            scheduling: erms::sim::Scheduling::Priority { delta },
+            ..SimConfig::default()
+        },
+    );
+    for (ms, m) in app.microservices() {
+        let (model, threads) = derive_from_profile(&m.profile, itf, 0.75);
+        sim.set_service_time(ms, model);
+        sim.set_threads(ms, threads);
+    }
+    sim.set_uniform_interference(itf);
+    let containers: BTreeMap<_, _> = app
+        .microservices()
+        .map(|(ms, _)| (ms, plan.containers(ms)))
+        .collect();
+    let mut priorities = BTreeMap::new();
+    for ms in app.shared_microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            priorities.insert(ms, order.to_vec());
+        }
+    }
+    let result = sim.run(&w, &containers, &priorities);
+    for (sid, svc) in app.services() {
+        println!(
+            "  {:<8} P95 = {:>7.1} ms  (SLA {sla} ms, violations {:.1}%)",
+            svc.name,
+            result.latency_percentile(sid, 0.95),
+            result.violation_rate(sid, sla) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&raw[1..]);
+    let outcome = match command.as_str() {
+        "plan" => cmd_plan(&args),
+        "compare" => cmd_compare(&args),
+        "sharing" => {
+            cmd_sharing(&args);
+            Ok(())
+        }
+        "simulate" => cmd_simulate(&args),
+        _ => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

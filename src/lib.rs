@@ -1,0 +1,48 @@
+//! # Erms — efficient resource management for shared microservices
+//!
+//! This crate is the facade of a from-scratch Rust reproduction of
+//! *Erms: Efficient Resource Management for Shared Microservices with SLA
+//! Guarantees* (ASPLOS 2023). It re-exports every sub-crate of the workspace
+//! so downstream users can depend on a single crate:
+//!
+//! * [`core`] — the paper's contribution: piecewise-linear latency models,
+//!   dependency-graph merging, closed-form latency-target computation,
+//!   priority scheduling at shared microservices, and interference-aware
+//!   provisioning.
+//! * [`sim`] — a discrete-event cluster/microservice simulator substrate.
+//! * [`trace`] — tracing coordinator: spans, graph extraction, and synthetic
+//!   Alibaba-like trace generation.
+//! * [`workload`] — workload generators and DeathStarBench-like topologies.
+//! * [`profilers`] — piecewise-linear fitting plus GBDT/MLP baselines.
+//! * [`baselines`] — the GrandSLAm, Rhythm and Firm autoscalers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use erms::core::prelude::*;
+//!
+//! // A two-microservice chain: U -> P, as in Fig. 4 of the paper.
+//! let mut app = AppBuilder::new("social-network");
+//! let u = app.microservice("userTimeline", LatencyProfile::linear(0.08, 3.0), Resources::new(0.1, 200.0));
+//! let p = app.microservice("postStorage", LatencyProfile::linear(0.02, 2.0), Resources::new(0.1, 200.0));
+//! let svc = app.service("compose", Sla::p95_ms(300.0), |g| {
+//!     let root = g.entry(u);
+//!     g.call_seq(root, p);
+//! });
+//! let app = app.build().expect("valid topology");
+//!
+//! // Compute SLA-optimal latency targets and container counts at 40k req/min.
+//! let mut workloads = WorkloadVector::new();
+//! workloads.set(svc, RequestRate::per_minute(40_000.0));
+//! let plan = ErmsScaler::new(&app).plan(&workloads, Interference::default()).unwrap();
+//! assert!(plan.containers(u) >= 1);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use erms_baselines as baselines;
+pub use erms_core as core;
+pub use erms_profilers as profilers;
+pub use erms_sim as sim;
+pub use erms_trace as trace;
+pub use erms_workload as workload;

@@ -1,0 +1,118 @@
+//! Cross-crate integration: benchmark topologies → Erms planning →
+//! model-based validation.
+
+use erms::core::prelude::*;
+use erms::workload::apps::{deathstarbench, fig5_app};
+
+#[test]
+fn erms_meets_slas_on_all_benchmark_apps() {
+    let itf = Interference::new(0.45, 0.40);
+    for bench in deathstarbench(200.0) {
+        let app = &bench.app;
+        for rate in [2_000.0, 25_000.0, 100_000.0] {
+            let w = WorkloadVector::uniform(app, RequestRate::per_minute(rate));
+            let plan = ErmsScaler::new(app)
+                .plan(&w, itf)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            assert!(
+                plan_meets_slas(app, &plan, &w, &itf).unwrap(),
+                "{} violates SLA at {rate} req/min",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn priority_plan_never_larger_than_fcfs() {
+    let itf = Interference::new(0.45, 0.40);
+    for bench in deathstarbench(150.0) {
+        let app = &bench.app;
+        for rate in [10_000.0, 40_000.0] {
+            let w = WorkloadVector::uniform(app, RequestRate::per_minute(rate));
+            let prio = ErmsScaler::new(app).plan(&w, itf).unwrap();
+            let fcfs = ErmsScaler::new(app)
+                .with_mode(SchedulingMode::Fcfs)
+                .plan(&w, itf)
+                .unwrap();
+            assert!(
+                prio.total_containers() <= fcfs.total_containers(),
+                "{}: priority {} > fcfs {}",
+                app.name(),
+                prio.total_containers(),
+                fcfs.total_containers()
+            );
+        }
+    }
+}
+
+#[test]
+fn higher_workload_needs_more_containers() {
+    let itf = Interference::default();
+    let bench = erms::workload::apps::social_network(200.0);
+    let app = &bench.app;
+    let mut last = 0;
+    for rate in [1_000.0, 5_000.0, 20_000.0, 80_000.0] {
+        let w = WorkloadVector::uniform(app, RequestRate::per_minute(rate));
+        let plan = ErmsScaler::new(app).plan(&w, itf).unwrap();
+        assert!(
+            plan.total_containers() >= last,
+            "containers must be monotone in workload"
+        );
+        last = plan.total_containers();
+    }
+}
+
+#[test]
+fn higher_interference_needs_more_containers() {
+    let bench = erms::workload::apps::hotel_reservation(150.0);
+    let app = &bench.app;
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(30_000.0));
+    let calm = ErmsScaler::new(app)
+        .plan(&w, Interference::new(0.10, 0.10))
+        .unwrap();
+    let busy = ErmsScaler::new(app)
+        .plan(&w, Interference::new(0.80, 0.70))
+        .unwrap();
+    assert!(
+        busy.total_containers() > calm.total_containers(),
+        "interference steepens curves: busy {} vs calm {}",
+        busy.total_containers(),
+        calm.total_containers()
+    );
+}
+
+#[test]
+fn tighter_sla_needs_more_containers() {
+    let itf = Interference::new(0.45, 0.40);
+    let tight = erms::workload::apps::social_network(50.0);
+    let loose = erms::workload::apps::social_network(200.0);
+    let w_tight = WorkloadVector::uniform(&tight.app, RequestRate::per_minute(20_000.0));
+    let w_loose = WorkloadVector::uniform(&loose.app, RequestRate::per_minute(20_000.0));
+    let p_tight = ErmsScaler::new(&tight.app).plan(&w_tight, itf).unwrap();
+    let p_loose = ErmsScaler::new(&loose.app).plan(&w_loose, itf).unwrap();
+    assert!(p_tight.total_containers() > p_loose.total_containers());
+}
+
+#[test]
+fn priority_order_tracks_sensitivity() {
+    // In the Fig. 5 scenario the service containing the more sensitive U
+    // gets priority at the shared P.
+    let (app, [_, _, p], [s1, _]) = fig5_app(300.0);
+    let w = WorkloadVector::uniform(&app, RequestRate::per_minute(40_000.0));
+    let plan = ErmsScaler::new(&app)
+        .plan(&w, Interference::new(0.45, 0.40))
+        .unwrap();
+    let order = plan.priority_order(p).expect("P is shared");
+    assert_eq!(order[0], s1, "sensitive service first");
+}
+
+#[test]
+fn infeasible_sla_is_reported_not_panicked() {
+    let bench = erms::workload::apps::social_network(5.0); // below the floor
+    let w = WorkloadVector::uniform(&bench.app, RequestRate::per_minute(10_000.0));
+    let err = ErmsScaler::new(&bench.app)
+        .plan(&w, Interference::default())
+        .unwrap_err();
+    assert!(matches!(err, Error::SlaInfeasible { .. }), "{err}");
+}

