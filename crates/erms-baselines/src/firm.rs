@@ -90,7 +90,11 @@ impl Firm {
             let entry = self.state.entry(ms).or_insert(0);
             if *entry == 0 && gamma > 0.0 {
                 let sigma = m.profile.cutoff_at(ctx.interference);
-                let per_container = if sigma.is_finite() { sigma * 1.25 } else { 1000.0 };
+                let per_container = if sigma.is_finite() {
+                    sigma * 1.25
+                } else {
+                    1000.0
+                };
                 *entry = (gamma / per_container).ceil().max(1.0) as u32;
             }
         }
@@ -110,7 +114,7 @@ impl Firm {
         let mut best: Option<(f64, MicroserviceId)> = None;
         for ms in svc.graph.microservices() {
             let l = microservice_latency(app, plan, ctx.workloads, service, ms, &ctx.interference)?;
-            if best.map_or(true, |(bl, _)| l > bl) {
+            if best.is_none_or(|(bl, _)| l > bl) {
                 best = Some((l, ms));
             }
         }
@@ -142,11 +146,13 @@ impl Autoscaler for Firm {
                 }
                 let latency = service_latency(app, &plan, ctx.workloads, sid, &ctx.interference)?;
                 let ratio = latency / svc.sla.threshold_ms;
-                if worst.map_or(true, |(r, _)| ratio > r) {
+                if worst.is_none_or(|(r, _)| ratio > r) {
                     worst = Some((ratio, sid));
                 }
             }
-            let Some((worst_ratio, sid)) = worst else { break };
+            let Some((worst_ratio, sid)) = worst else {
+                break;
+            };
             if worst_ratio > 1.0 {
                 // SLO violated: scale up the critical microservice of the
                 // worst service.
@@ -172,7 +178,7 @@ impl Autoscaler for Firm {
                     let sigma = m.profile.cutoff_at(ctx.interference);
                     let capacity = if sigma.is_finite() { sigma } else { 1000.0 };
                     let utilisation = gamma / (n as f64 * capacity);
-                    if candidate.map_or(true, |(u, _)| utilisation < u) {
+                    if candidate.is_none_or(|(u, _)| utilisation < u) {
                         candidate = Some((utilisation, ms));
                     }
                 }

@@ -22,8 +22,8 @@
 pub mod firm;
 pub mod grandslam;
 pub mod rhythm;
-pub mod targets;
 pub mod stats;
+pub mod targets;
 
 pub use firm::Firm;
 pub use grandslam::GrandSlam;

@@ -83,7 +83,10 @@ pub fn derive(app: &App, itf: Interference) -> StatsTable {
             .map(|&f| e2e_at(app, svc, svc.graph.root(), f, itf))
             .collect();
         for ms in svc.graph.microservices() {
-            let series: Vec<f64> = grid.iter().map(|&f| ms_latency_at(app, ms, f, itf)).collect();
+            let series: Vec<f64> = grid
+                .iter()
+                .map(|&f| ms_latency_at(app, ms, f, itf))
+                .collect();
             let mean = mean(&series);
             let variance = variance(&series, mean);
             let correlation = pearson(&series, &e2e);

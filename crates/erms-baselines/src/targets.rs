@@ -21,11 +21,7 @@ use erms_core::scaling::{invert_profile, ServicePlan};
 /// Subtree weight: own weight plus, per stage, the maximum child subtree
 /// weight (parallel calls overlap, so only the heaviest matters for the
 /// budget split).
-fn subtree_weight(
-    svc: &Service,
-    node: NodeId,
-    weights: &BTreeMap<MicroserviceId, f64>,
-) -> f64 {
+fn subtree_weight(svc: &Service, node: NodeId, weights: &BTreeMap<MicroserviceId, f64>) -> f64 {
     let n = svc.graph.node(node);
     let own = weights.get(&n.microservice).copied().unwrap_or(0.0);
     let downstream: f64 = n
@@ -50,7 +46,11 @@ fn distribute(
 ) {
     let n = svc.graph.node(node);
     let total = subtree_weight(svc, node, weights) / n.multiplicity;
-    let own = weights.get(&n.microservice).copied().unwrap_or(0.0).max(1e-9);
+    let own = weights
+        .get(&n.microservice)
+        .copied()
+        .unwrap_or(0.0)
+        .max(1e-9);
     let per_invocation = budget / n.multiplicity;
     let own_target = per_invocation * own / total;
     out.entry(n.microservice)
@@ -76,7 +76,13 @@ pub fn targets_by_weight(
     weights: &BTreeMap<MicroserviceId, f64>,
 ) -> BTreeMap<MicroserviceId, f64> {
     let mut out = BTreeMap::new();
-    distribute(svc, svc.graph.root(), svc.sla.threshold_ms, weights, &mut out);
+    distribute(
+        svc,
+        svc.graph.root(),
+        svc.sla.threshold_ms,
+        weights,
+        &mut out,
+    );
     out
 }
 
@@ -159,8 +165,8 @@ pub fn plan_from_targets(
             let mut worst: f64 = 0.0;
             for &svc in order {
                 let svc_graph = &app.service(svc)?.graph;
-                acc_gamma += ctx.workloads.rate(svc).as_per_minute()
-                    * svc_graph.calls_per_request(ms);
+                acc_gamma +=
+                    ctx.workloads.rate(svc).as_per_minute() * svc_graph.calls_per_request(ms);
                 let target = service_plans[&svc]
                     .ms_targets_ms
                     .get(&ms)
@@ -204,12 +210,7 @@ pub fn plan_from_targets(
             if let Ok(m) = app.microservice(ms) {
                 let gamma = app.microservice_workload(ms, ctx.workloads);
                 let zero_load = m.profile.params(Interval::Low, itf).b.max(0.0);
-                let n = invert_profile(
-                    &m.profile,
-                    itf,
-                    gamma,
-                    target.max(zero_load * 1.02 + 0.01),
-                );
+                let n = invert_profile(&m.profile, itf, gamma, target.max(zero_load * 1.02 + 0.01));
                 sp.ms_containers.insert(ms, n);
             }
         }
@@ -247,8 +248,16 @@ mod tests {
     fn parallel_children_share_the_stage_budget() {
         let mut b = AppBuilder::new("w");
         let root_ms = b.microservice("r", LatencyProfile::linear(0.01, 1.0), Resources::default());
-        let p1 = b.microservice("p1", LatencyProfile::linear(0.01, 1.0), Resources::default());
-        let p2 = b.microservice("p2", LatencyProfile::linear(0.01, 1.0), Resources::default());
+        let p1 = b.microservice(
+            "p1",
+            LatencyProfile::linear(0.01, 1.0),
+            Resources::default(),
+        );
+        let p2 = b.microservice(
+            "p2",
+            LatencyProfile::linear(0.01, 1.0),
+            Resources::default(),
+        );
         let svc = b.service("s", Sla::p95_ms(100.0), |g| {
             let root = g.entry(root_ms);
             g.call_par(root, &[p1, p2]);

@@ -24,7 +24,12 @@ fn main() {
         &rows,
     );
 
-    let over_100 = 1.0 - cdf.iter().find(|(t, _)| *t == 100).map(|(_, f)| *f).unwrap_or(1.0);
+    let over_100 = 1.0
+        - cdf
+            .iter()
+            .find(|(t, _)| *t == 100)
+            .map(|(_, f)| *f)
+            .unwrap_or(1.0);
     println!(
         "\nreferenced microservices: {}   shared (>=2 services): {}",
         generated.sharing_counts.len(),

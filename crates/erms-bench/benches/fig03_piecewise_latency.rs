@@ -25,7 +25,11 @@ fn main() {
     // One microservice, one container with 2 worker threads, 4 ms mean
     // service time -> capacity 30 000 calls/min per container.
     let mut b = AppBuilder::new("fig3");
-    let ms = b.microservice("ms", LatencyProfile::linear(0.001, 4.0), Resources::default());
+    let ms = b.microservice(
+        "ms",
+        LatencyProfile::linear(0.001, 4.0),
+        Resources::default(),
+    );
     let svc = b.service("probe", Sla::p95_ms(1_000.0), |g| {
         g.entry(ms);
     });
@@ -47,7 +51,9 @@ fn main() {
     // the knee appears at a lower workload — exactly Fig. 3's observation.
     let grid = |itf: &Interference| -> Vec<f64> {
         let capacity_per_min = 2.0 / model.mean_ms(*itf) * 60_000.0;
-        (1..=13).map(|i| capacity_per_min * 0.08 * i as f64 * 0.92 / 1.04).collect()
+        (1..=13)
+            .map(|i| capacity_per_min * 0.08 * i as f64 * 0.92 / 1.04)
+            .collect()
     };
 
     for (li, (_, itf)) in levels.iter().enumerate() {
@@ -68,7 +74,7 @@ fn main() {
             sim.set_uniform_interference(*itf);
             let mut w = WorkloadVector::new();
             w.set(svc, RequestRate::per_minute(rate));
-            let result = sim.run(&w, &containers, &BTreeMap::new());
+            let result = sim.run(&w, &containers, &BTreeMap::new()).unwrap();
             let own: Vec<f64> = result.ms_own_latencies[&ms]
                 .iter()
                 .map(|(_, l, _)| *l)

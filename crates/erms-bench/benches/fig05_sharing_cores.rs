@@ -11,10 +11,10 @@ use std::collections::BTreeMap;
 
 use erms_bench::table;
 use erms_core::app::{RequestRate, WorkloadVector};
+use erms_core::evaluate::plan_meets_slas;
 use erms_core::latency::{Interference, Interval};
 use erms_core::manager::{ErmsScaler, SchedulingMode};
 use erms_core::multiplexing::{mm1, SharingScenario};
-use erms_core::evaluate::plan_meets_slas;
 use erms_workload::apps::fig5_app;
 
 fn main() {

@@ -50,7 +50,7 @@ fn main() {
             sim.set_service_time(ms, ServiceTimeModel::new(1.7, 0.4, 0.0, 0.0));
         }
         sim.set_uniform_interference(Interference::new(0.2, 0.2));
-        let result = sim.run(&w, &containers, &priorities);
+        let result = sim.run(&w, &containers, &priorities).unwrap();
         let own = |svc| {
             let rows = &result.ms_own_latencies[&p];
             let v: Vec<f64> = rows
@@ -95,11 +95,7 @@ fn main() {
     table::claim(
         "strict priority (delta=0) starves low-priority most",
         "low-priority latency is maximal at delta=0",
-        &format!(
-            "{:.2} ms at 0 vs {:.2} ms at 0.2",
-            low_p95[0],
-            low_p95[4]
-        ),
+        &format!("{:.2} ms at 0 vs {:.2} ms at 0.2", low_p95[0], low_p95[4]),
         low_p95[0] >= low_p95[4],
     );
 }

@@ -174,7 +174,12 @@ fn main() {
     }
     table::print(
         "Fig. 10(b): accuracy vs fraction of training data (Taobao)",
-        &["training data", "Erms (piecewise)", "XGBoost (GBDT)", "NN (MLP)"],
+        &[
+            "training data",
+            "Erms (piecewise)",
+            "XGBoost (GBDT)",
+            "NN (MLP)",
+        ],
         &rows_b,
     );
     table::claim(

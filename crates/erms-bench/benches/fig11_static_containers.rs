@@ -42,7 +42,11 @@ fn main() {
     let mut headers: Vec<&str> = vec!["containers"];
     let scheme_names: Vec<&str> = schemes.iter().map(String::as_str).collect();
     headers.extend(scheme_names);
-    table::print("Fig. 11(a): CDF of containers across settings", &headers, &rows);
+    table::print(
+        "Fig. 11(a): CDF of containers across settings",
+        &headers,
+        &rows,
+    );
 
     // (b) average containers per workload level.
     let mut rows_b = Vec::new();
@@ -54,7 +58,10 @@ fn main() {
                 .filter(|r| &r.scheme == scheme && (r.workload - wl).abs() < 1.0)
                 .map(|r| r.containers as f64)
                 .collect();
-            row.push(format!("{:.0}", of.iter().sum::<f64>() / of.len().max(1) as f64));
+            row.push(format!(
+                "{:.0}",
+                of.iter().sum::<f64>() / of.len().max(1) as f64
+            ));
         }
         rows_b.push(row);
     }

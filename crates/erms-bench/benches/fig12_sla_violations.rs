@@ -105,13 +105,21 @@ fn main() {
         .filter(|r| r.workload <= 6_000.0)
         .map(|r| r.violation)
         .sum::<f64>()
-        / records.iter().filter(|r| r.workload <= 6_000.0).count().max(1) as f64;
+        / records
+            .iter()
+            .filter(|r| r.workload <= 6_000.0)
+            .count()
+            .max(1) as f64;
     let high_w: f64 = records
         .iter()
         .filter(|r| r.workload >= 60_000.0)
         .map(|r| r.violation)
         .sum::<f64>()
-        / records.iter().filter(|r| r.workload >= 60_000.0).count().max(1) as f64;
+        / records
+            .iter()
+            .filter(|r| r.workload >= 60_000.0)
+            .count()
+            .max(1) as f64;
     table::claim(
         "higher workloads raise violation probability",
         "monotone trend",

@@ -75,8 +75,7 @@ fn main() {
                 ]);
             }
         }
-        let mean =
-            containers_series.iter().sum::<f64>() / containers_series.len().max(1) as f64;
+        let mean = containers_series.iter().sum::<f64>() / containers_series.len().max(1) as f64;
         summary.push((
             scheme.name().to_string(),
             mean,
@@ -104,7 +103,12 @@ fn main() {
         .collect();
     table::print(
         "Fig. 13 summary per scheme",
-        &["scheme", "mean containers", "minutes violated", "worst P95/SLA"],
+        &[
+            "scheme",
+            "mean containers",
+            "minutes violated",
+            "worst P95/SLA",
+        ],
         &rows_summary,
     );
 

@@ -61,7 +61,9 @@ fn main() {
     // Reservation), mid/high workloads where sharing pressure matters.
     let mut rows_b = Vec::new();
     let mut savings = Vec::new();
-    let pairs: Vec<(&str, Box<dyn Autoscaler>, Box<dyn Autoscaler>)> = vec![
+    // (name, scheme without priority scheduling, scheme with it)
+    type SchemePair = (&'static str, Box<dyn Autoscaler>, Box<dyn Autoscaler>);
+    let pairs: Vec<SchemePair> = vec![
         (
             "erms",
             Box::new(Erms {
@@ -135,7 +137,6 @@ fn main() {
             get_saving("grandslam") * 100.0,
             get_saving("rhythm") * 100.0
         ),
-        get_saving("grandslam") < get_saving("erms")
-            && get_saving("rhythm") < get_saving("erms"),
+        get_saving("grandslam") < get_saving("erms") && get_saving("rhythm") < get_saving("erms"),
     );
 }

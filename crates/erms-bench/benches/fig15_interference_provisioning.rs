@@ -148,8 +148,7 @@ fn main() {
             let mut total = 0.0;
             let mut count = 0;
             for (sid, _) in app.services() {
-                total +=
-                    service_latency(app, &plan, &w, sid, &itf_map).unwrap_or(f64::INFINITY);
+                total += service_latency(app, &plan, &w, sid, &itf_map).unwrap_or(f64::INFINITY);
                 count += 1;
             }
             total / count as f64
@@ -167,12 +166,22 @@ fn main() {
 
     table::print(
         "Fig. 15(a): containers to satisfy SLAs (interference-aware vs K8s default)",
-        &["interference", "Erms provisioning", "K8s default", "K8s overhead"],
+        &[
+            "interference",
+            "Erms provisioning",
+            "K8s default",
+            "K8s overhead",
+        ],
         &rows_a,
     );
     table::print(
         "Fig. 15(b): mean end-to-end latency at equal resources (ms)",
-        &["interference", "Erms provisioning", "K8s default", "improvement"],
+        &[
+            "interference",
+            "Erms provisioning",
+            "K8s default",
+            "improvement",
+        ],
         &rows_b,
     );
 

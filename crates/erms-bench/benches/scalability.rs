@@ -78,13 +78,22 @@ fn bench_provisioning(c: &mut Criterion) {
     let plan = ErmsScaler::new(app)
         .plan(&w, Interference::default())
         .expect("feasible");
-    println!("provisioning bench places {} containers", plan.total_containers());
+    println!(
+        "provisioning bench places {} containers",
+        plan.total_containers()
+    );
 
     let mut group = c.benchmark_group("provisioning_5000_hosts");
     group.sample_size(10);
     for (label, policy) in [
-        ("whole_cluster", PlacementPolicy::InterferenceAware { groups: 1 }),
-        ("pop_16_groups", PlacementPolicy::InterferenceAware { groups: 16 }),
+        (
+            "whole_cluster",
+            PlacementPolicy::InterferenceAware { groups: 1 },
+        ),
+        (
+            "pop_16_groups",
+            PlacementPolicy::InterferenceAware { groups: 16 },
+        ),
         ("k8s_default", PlacementPolicy::KubernetesDefault),
     ] {
         group.bench_function(label, |b| {

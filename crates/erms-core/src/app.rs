@@ -197,7 +197,9 @@ impl App {
     ///
     /// Returns [`Error::UnknownService`] for a foreign id.
     pub fn service(&self, id: ServiceId) -> Result<&Service> {
-        self.services.get(id.index()).ok_or(Error::UnknownService(id))
+        self.services
+            .get(id.index())
+            .ok_or(Error::UnknownService(id))
     }
 
     /// Iterates over `(MicroserviceId, &Microservice)`.
@@ -356,10 +358,12 @@ impl AppBuilder {
     ///   non-positive SLA thresholds.
     pub fn build(self) -> Result<App> {
         for (i, m) in self.microservices.iter().enumerate() {
-            m.profile.validate().map_err(|reason| Error::InvalidProfile {
-                microservice: MicroserviceId::new(i as u32),
-                reason,
-            })?;
+            m.profile
+                .validate()
+                .map_err(|reason| Error::InvalidProfile {
+                    microservice: MicroserviceId::new(i as u32),
+                    reason,
+                })?;
         }
         for svc in &self.services {
             if !(svc.sla.threshold_ms.is_finite() && svc.sla.threshold_ms > 0.0) {

@@ -56,8 +56,30 @@ impl ScalingPlan {
 
     /// Container count of a microservice (zero if the plan does not cover
     /// it).
+    ///
+    /// Note the zero is ambiguous: an *explicit* 0 entry is an instruction
+    /// to scale the deployment to zero, while a *missing* entry means the
+    /// plan does not govern the microservice at all and provisioning leaves
+    /// its current containers untouched. Use [`ScalingPlan::get`] when the
+    /// distinction matters (it does for degraded-mode demand shedding).
     pub fn containers(&self, ms: MicroserviceId) -> u32 {
         self.containers.get(&ms).copied().unwrap_or(0)
+    }
+
+    /// The container count of a microservice, distinguishing the two zero
+    /// cases [`ScalingPlan::containers`] conflates: `Some(0)` is an explicit
+    /// scale-to-zero decision (the microservice served zero workload this
+    /// round), `None` means the plan does not cover the microservice —
+    /// [`provision`](crate::provisioning::provision) will not touch its
+    /// deployment.
+    pub fn get(&self, ms: MicroserviceId) -> Option<u32> {
+        self.containers.get(&ms).copied()
+    }
+
+    /// Whether the plan governs this microservice (even with an explicit
+    /// zero count).
+    pub fn covers(&self, ms: MicroserviceId) -> bool {
+        self.containers.contains_key(&ms)
     }
 
     /// Iterates over `(microservice, containers)` in id order.
@@ -157,7 +179,11 @@ mod tests {
 
     fn tiny_app() -> (App, MicroserviceId) {
         let mut b = AppBuilder::new("t");
-        let m = b.microservice("m", LatencyProfile::linear(0.01, 1.0), Resources::new(0.5, 100.0));
+        let m = b.microservice(
+            "m",
+            LatencyProfile::linear(0.01, 1.0),
+            Resources::new(0.5, 100.0),
+        );
         b.service("s", Sla::p95_ms(100.0), |g| {
             g.entry(m);
         });

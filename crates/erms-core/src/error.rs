@@ -56,6 +56,13 @@ pub enum Error {
         /// CPU cores available.
         available_cpu: f64,
     },
+    /// A microservice that must serve workload was deployed with zero
+    /// containers — a configuration error, distinct from losing capacity
+    /// mid-run (which surfaces as dropped requests, not an error).
+    ZeroContainers {
+        /// The microservice with workload but no containers.
+        microservice: MicroserviceId,
+    },
 }
 
 impl fmt::Display for Error {
@@ -86,6 +93,10 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "placement requires {requested_cpu} CPU cores but only {available_cpu} are available"
+            ),
+            Error::ZeroContainers { microservice } => write!(
+                f,
+                "microservice {microservice} must serve workload but has zero containers"
             ),
         }
     }

@@ -109,11 +109,10 @@ pub fn service_latency(
         let l = microservice_latency(app, plan, workloads, service, ms, itf)?;
         cache.insert(ms, l);
     }
-    Ok(subtree_latency(app, svc, svc.graph.root(), &cache))
+    Ok(subtree_latency(svc, svc.graph.root(), &cache))
 }
 
 fn subtree_latency(
-    app: &App,
     svc: &crate::app::Service,
     node_id: NodeId,
     ms_latency: &BTreeMap<MicroserviceId, f64>,
@@ -126,7 +125,7 @@ fn subtree_latency(
         .map(|stage| {
             stage
                 .iter()
-                .map(|&child| subtree_latency(app, svc, child, ms_latency))
+                .map(|&child| subtree_latency(svc, child, ms_latency))
                 .fold(0.0, f64::max)
         })
         .sum();
@@ -210,7 +209,7 @@ pub fn workload_sensitivity(
             for &child in stage {
                 let mut probe = BTreeMap::new();
                 let v = walk(svc, child, marginal, &mut probe);
-                if best.map_or(true, |(b, _)| v > b) {
+                if best.is_none_or(|(b, _)| v > b) {
                     best = Some((v, child));
                 }
             }
@@ -284,13 +283,11 @@ mod tests {
         plan.set_containers(p, 10);
         let w = rates(&app, 1000.0);
         // P sees 2000 calls/min over 10 containers -> 200/container.
-        let lp =
-            microservice_latency(&app, &plan, &w, s1, p, &Interference::default()).unwrap();
+        let lp = microservice_latency(&app, &plan, &w, s1, p, &Interference::default()).unwrap();
         let expected = 0.03 * 200.0 + 2.0;
         assert!((lp - expected).abs() < 1e-9);
         // End-to-end = U latency + P latency.
-        let lu =
-            microservice_latency(&app, &plan, &w, s1, u, &Interference::default()).unwrap();
+        let lu = microservice_latency(&app, &plan, &w, s1, u, &Interference::default()).unwrap();
         let e2e = service_latency(&app, &plan, &w, s1, &Interference::default()).unwrap();
         assert!((e2e - (lu + lp)).abs() < 1e-9);
     }
@@ -338,9 +335,21 @@ mod tests {
     #[test]
     fn parallel_stage_takes_max() {
         let mut b = AppBuilder::new("par");
-        let root_ms = b.microservice("root", LatencyProfile::linear(0.0, 1.0), Resources::default());
-        let fast = b.microservice("fast", LatencyProfile::linear(0.0, 2.0), Resources::default());
-        let slow = b.microservice("slow", LatencyProfile::linear(0.0, 9.0), Resources::default());
+        let root_ms = b.microservice(
+            "root",
+            LatencyProfile::linear(0.0, 1.0),
+            Resources::default(),
+        );
+        let fast = b.microservice(
+            "fast",
+            LatencyProfile::linear(0.0, 2.0),
+            Resources::default(),
+        );
+        let slow = b.microservice(
+            "slow",
+            LatencyProfile::linear(0.0, 9.0),
+            Resources::default(),
+        );
         let svc = b.service("s", Sla::p95_ms(100.0), |g| {
             let r = g.entry(root_ms);
             g.call_par(r, &[fast, slow]);
@@ -383,8 +392,7 @@ mod tests {
         }
         let w = rates(&app, 1000.0);
         let itf = Interference::default();
-        let (total, contributions) =
-            workload_sensitivity(&app, &plan, &w, s1, &itf).unwrap();
+        let (total, contributions) = workload_sensitivity(&app, &plan, &w, s1, &itf).unwrap();
         // U: slope 0.08, per-container load 100 -> 8.0; P (shared, 2000
         // calls over 10 containers): slope 0.03 * 200 -> 6.0.
         assert!((contributions[&u] - 8.0).abs() < 1e-9, "{contributions:?}");

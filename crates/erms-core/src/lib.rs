@@ -19,7 +19,11 @@
 //!   plans against SLAs;
 //! * [`provisioning`] — interference-aware container placement (§5.4) with
 //!   POP-style host grouping;
-//! * [`manager`] — the Erms controller that ties the above together (§3).
+//! * [`manager`] — the Erms controller that ties the above together (§3);
+//! * [`resilience`] — the self-healing wrapper around the controller round:
+//!   bounded retries, a degradation ladder (relaxed placement, demand
+//!   shedding, last-known-good fallback) and plan hysteresis, with every
+//!   fallback audited in a `ResilienceReport`.
 //!
 //! # Example
 //!
@@ -73,6 +77,7 @@ pub mod merge;
 pub mod multiplexing;
 pub mod prelude;
 pub mod provisioning;
+pub mod resilience;
 pub mod resources;
 pub mod scaling;
 

@@ -133,17 +133,27 @@ pub fn erms_plan(
         };
         let sp = plan_service(app, sid, rate, &eff, itf, config)?;
         for (&ms, &n) in &sp.ms_containers {
-            demand
-                .entry(ms)
-                .and_modify(|d| *d = d.max(n))
-                .or_insert(n);
+            demand.entry(ms).and_modify(|d| *d = d.max(n)).or_insert(n);
         }
         plan.set_service_plan(sp);
     }
 
-    // Round up to integral containers (§7).
+    // Round up to integral containers (§7). The zero-vs-missing semantics
+    // here are deliberate and load-bearing for provisioning:
+    //
+    // * a microservice on some service's call path always gets an entry —
+    //   an *explicit* 0 when its demand is zero this round (scale to
+    //   zero), and at least 1 for any positive demand, however small, so
+    //   demand-shedding (which scales workloads down, never to zero)
+    //   can never deallocate a service's whole path;
+    // * a microservice on no call path gets *no* entry, and
+    //   `provision` leaves its current deployment untouched.
     for (ms, n) in demand {
-        let count = if n <= 0.0 { 0 } else { n.ceil().max(1.0) as u32 };
+        let count = if n <= 0.0 {
+            0
+        } else {
+            n.ceil().max(1.0) as u32
+        };
         plan.set_containers(ms, count);
     }
     for (ms, order) in priorities {
@@ -183,7 +193,13 @@ impl Autoscaler for Erms {
     }
 
     fn plan(&mut self, ctx: &ScalingContext<'_>) -> Result<ScalingPlan> {
-        erms_plan(ctx.app, ctx.workloads, ctx.interference, ctx.config, self.mode)
+        erms_plan(
+            ctx.app,
+            ctx.workloads,
+            ctx.interference,
+            ctx.config,
+            self.mode,
+        )
     }
 }
 
@@ -293,7 +309,9 @@ mod tests {
     fn priority_plan_meets_slas_in_model() {
         let (app, _, _) = sharing_app();
         let w = WorkloadVector::uniform(&app, RequestRate::per_minute(40_000.0));
-        let plan = ErmsScaler::new(&app).plan(&w, Interference::default()).unwrap();
+        let plan = ErmsScaler::new(&app)
+            .plan(&w, Interference::default())
+            .unwrap();
         assert!(plan_meets_slas(&app, &plan, &w, &Interference::default()).unwrap());
         assert!(plan.has_priorities());
     }
@@ -334,7 +352,9 @@ mod tests {
     fn zero_workload_plans_zero_containers() {
         let (app, [u, _, p], _) = sharing_app();
         let w = WorkloadVector::new();
-        let plan = ErmsScaler::new(&app).plan(&w, Interference::default()).unwrap();
+        let plan = ErmsScaler::new(&app)
+            .plan(&w, Interference::default())
+            .unwrap();
         assert_eq!(plan.containers(u), 0);
         assert_eq!(plan.containers(p), 0);
         assert_eq!(plan.total_containers(), 0);
@@ -370,11 +390,75 @@ mod tests {
         assert!(outcome.provision.placed > 0);
         assert_eq!(
             outcome.plan.total_containers(),
-            state.hosts().iter().map(|h| h.container_count() as u64).sum::<u64>()
+            state
+                .hosts()
+                .iter()
+                .map(|h| h.container_count() as u64)
+                .sum::<u64>()
         );
         // Scale down on a second round with lower workload.
         let w2 = WorkloadVector::uniform(&app, RequestRate::per_minute(2_000.0));
         let outcome2 = manager.run_round(&mut state, &w2).unwrap();
         assert!(outcome2.provision.released > 0);
+    }
+
+    #[test]
+    fn idle_service_path_gets_explicit_zero_not_missing() {
+        // H is only on svc2's path; with svc2 idle its demand is zero, and
+        // the plan must say so *explicitly* (scale-to-zero), not omit it.
+        let (app, [u, h, p], [s1, s2]) = sharing_app();
+        let mut w = WorkloadVector::new();
+        w.set(s1, RequestRate::per_minute(20_000.0));
+        w.set(s2, RequestRate::per_minute(0.0));
+        let plan = ErmsScaler::new(&app)
+            .plan(&w, Interference::default())
+            .unwrap();
+        assert_eq!(plan.get(h), Some(0), "idle path: explicit zero");
+        assert!(plan.covers(h));
+        assert!(plan.containers(u) >= 1);
+        assert!(plan.containers(p) >= 1);
+    }
+
+    #[test]
+    fn tiny_positive_demand_rounds_up_to_one_container() {
+        // Any positive demand, however small, keeps at least one container
+        // — the guarantee that demand-shedding (which scales workloads
+        // down, never to zero) cannot deallocate a service's path.
+        let (app, [_, h, _], [s1, s2]) = sharing_app();
+        let mut w = WorkloadVector::new();
+        w.set(s1, RequestRate::per_minute(20_000.0));
+        w.set(s2, RequestRate::per_minute(1.0));
+        let plan = ErmsScaler::new(&app)
+            .plan(&w, Interference::default())
+            .unwrap();
+        assert!(plan.containers(h) >= 1);
+    }
+
+    #[test]
+    fn unused_microservice_is_missing_and_left_unprovisioned() {
+        // A microservice on no service's call path gets no plan entry, and
+        // provisioning leaves whatever deployment it already has alone.
+        let mut b = AppBuilder::new("extra");
+        let u = b.microservice("U", LatencyProfile::linear(0.08, 3.0), Resources::default());
+        let x = b.microservice("X", LatencyProfile::linear(0.01, 1.0), Resources::default());
+        let s = b.service("svc", Sla::p95_ms(300.0), |g| {
+            g.entry(u);
+        });
+        let app = b.build().unwrap();
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(10_000.0));
+        let plan = ErmsScaler::new(&app)
+            .plan(&w, Interference::default())
+            .unwrap();
+        assert!(!plan.covers(x));
+        assert_eq!(plan.get(x), None);
+
+        let mut state = ClusterState::paper_cluster();
+        let mut pre = ScalingPlan::new("manual");
+        pre.set_containers(x, 3);
+        provision(&mut state, &app, &pre, PlacementPolicy::default()).unwrap();
+        assert_eq!(state.containers_of(x), 3);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        assert_eq!(state.containers_of(x), 3, "uncovered deployment untouched");
     }
 }

@@ -243,9 +243,7 @@ impl SharingScenario {
         let ru = |t1: f64| {
             let n_p = a_p * self.gamma1 / t1;
             let t2 = t1 * ratio;
-            n_p * r_p
-                + a_u * self.gamma1 / (s1 - t1) * r_u
-                + a_h * self.gamma2 / (s2 - t2) * r_h
+            n_p * r_p + a_u * self.gamma1 / (s1 - t1) * r_u + a_h * self.gamma2 / (s2 - t2) * r_h
         };
         Some(golden_min(ru, 1e-9 * cap, cap * (1.0 - 1e-9)))
     }

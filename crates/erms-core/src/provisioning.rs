@@ -193,6 +193,61 @@ impl ClusterState {
         }
     }
 
+    /// Appends a host to the cluster (e.g. a replacement after a failure).
+    pub fn add_host(&mut self, host: Host) {
+        self.hosts.push(host);
+    }
+
+    /// Removes host `index` from the cluster, returning it together with
+    /// every container that was resident on it — the "host failure" fault:
+    /// all resident containers are lost and must be re-placed by the next
+    /// controller round.
+    ///
+    /// Returns `None` when `index` is out of bounds.
+    pub fn fail_host(&mut self, index: usize) -> Option<Host> {
+        if index >= self.hosts.len() {
+            return None;
+        }
+        Some(self.hosts.remove(index))
+    }
+
+    /// Removes up to `count` containers of `ms` from the cluster (most
+    /// loaded hosts first), returning how many were actually removed — the
+    /// "container crash" fault at cluster level.
+    pub fn crash_containers(&mut self, app: &App, ms: MicroserviceId, count: u32) -> u32 {
+        let mut removed = 0;
+        while removed < count {
+            let Some(victim) = self
+                .hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.containers_of(ms) > 0)
+                .max_by(|(_, a), (_, b)| {
+                    let (ac, am) = a.utilization(app);
+                    let (bc, bm) = b.utilization(app);
+                    (ac + am).total_cmp(&(bc + bm))
+                })
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let host = &mut self.hosts[victim];
+            if let Some(entry) = host.containers.get_mut(&ms) {
+                *entry -= 1;
+                if *entry == 0 {
+                    host.containers.remove(&ms);
+                }
+            }
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Total containers across all hosts and microservices.
+    pub fn total_containers(&self) -> u64 {
+        self.hosts.iter().map(|h| h.container_count() as u64).sum()
+    }
+
     /// Resource unbalance (§5.4): the mean squared deviation of host
     /// utilisation (CPU and memory) from the cluster-wide mean.
     pub fn unbalance(&self, app: &App) -> f64 {
@@ -237,12 +292,36 @@ impl Default for PlacementPolicy {
 /// places missing ones according to `policy`. Returns the number of
 /// placements and releases performed.
 ///
+/// The application is **transactional**: on any failure `state` is left
+/// exactly as it was — partial releases/placements are rolled back — so a
+/// caller (notably the resilience ladder in
+/// [`resilience`](crate::resilience)) can retry with a relaxed policy or a
+/// degraded plan without first repairing the cluster.
+///
 /// # Errors
 ///
 /// Returns [`Error::InsufficientCapacity`] when the plan requests more CPU
 /// than the cluster can hold (memory is checked the same way through the
 /// placement loop).
 pub fn provision(
+    state: &mut ClusterState,
+    app: &App,
+    plan: &ScalingPlan,
+    policy: PlacementPolicy,
+) -> Result<ProvisionReport> {
+    // Work on a scratch copy and commit atomically on success. A journal of
+    // inverse operations would avoid the clone, but cluster states are small
+    // (a few dozen hosts with per-microservice counters) and the clone makes
+    // the rollback trivially correct under every failure path.
+    let mut working = state.clone();
+    let report = provision_in_place(&mut working, app, plan, policy)?;
+    *state = working;
+    Ok(report)
+}
+
+/// The non-transactional provisioning pass; may leave `state` partially
+/// mutated on error, which [`provision`] hides behind a scratch copy.
+fn provision_in_place(
     state: &mut ClusterState,
     app: &App,
     plan: &ScalingPlan,
@@ -284,9 +363,12 @@ pub fn provision(
                 .max_by(|(_, a), (_, b)| {
                     let (ac, am) = a.utilization(app);
                     let (bc, bm) = b.utilization(app);
-                    (ac + am).partial_cmp(&(bc + bm)).unwrap()
+                    (ac + am).total_cmp(&(bc + bm))
                 })
                 .map(|(i, _)| i)
+                // Invariant, not user-reachable: the loop condition
+                // `current > target` holds only while containers_of(ms) > 0,
+                // so some host must have one.
                 .expect("containers_of > 0 implies a host has one");
             let host = &mut state.hosts[victim];
             let entry = host.containers.get_mut(&ms).expect("victim has container");
@@ -354,7 +436,7 @@ pub fn provision(
                         }
                     }
                 };
-                score(x).partial_cmp(&score(y)).unwrap()
+                score(x).total_cmp(&score(y))
             }) else {
                 return Err(Error::InsufficientCapacity {
                     requested_cpu: requested,
@@ -394,7 +476,11 @@ mod tests {
 
     fn app_with_one_ms() -> (App, MicroserviceId) {
         let mut b = AppBuilder::new("p");
-        let m = b.microservice("m", LatencyProfile::linear(0.01, 1.0), Resources::new(1.0, 1024.0));
+        let m = b.microservice(
+            "m",
+            LatencyProfile::linear(0.01, 1.0),
+            Resources::new(1.0, 1024.0),
+        );
         b.service("s", Sla::p95_ms(100.0), |g| {
             g.entry(m);
         });

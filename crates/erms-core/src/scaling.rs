@@ -269,18 +269,17 @@ pub type EffectiveWorkloads = BTreeMap<MicroserviceId, f64>;
 
 /// Builds the default effective-workload map of one service: its own call
 /// rate at every microservice it uses.
-pub fn own_workloads(app: &App, service: ServiceId, rate: RequestRate) -> Result<EffectiveWorkloads> {
+pub fn own_workloads(
+    app: &App,
+    service: ServiceId,
+    rate: RequestRate,
+) -> Result<EffectiveWorkloads> {
     let svc = app.service(service)?;
     Ok(svc
         .graph
         .microservices()
         .into_iter()
-        .map(|ms| {
-            (
-                ms,
-                rate.as_per_minute() * svc.graph.calls_per_request(ms),
-            )
-        })
+        .map(|ms| (ms, rate.as_per_minute() * svc.graph.calls_per_request(ms)))
         .collect())
 }
 
@@ -317,10 +316,8 @@ pub fn plan_service(
     // parameters where the allocated target proves to sit below the knee.
     // (`interval_override` forces a single interval, for ablations.)
     let initial = config.interval_override.unwrap_or(Interval::High);
-    let mut intervals: BTreeMap<MicroserviceId, Interval> = ms_list
-        .iter()
-        .map(|&ms| (ms, initial))
-        .collect();
+    let mut intervals: BTreeMap<MicroserviceId, Interval> =
+        ms_list.iter().map(|&ms| (ms, initial)).collect();
 
     let mut pass = 0usize;
     loop {
@@ -346,13 +343,14 @@ pub fn plan_service(
         }
 
         let merged = MergedGraph::merge(&svc.graph, &node_params);
-        let node_targets = merged
-            .assign_targets(svc.sla.threshold_ms)
-            .ok_or(Error::SlaInfeasible {
-                service,
-                sla_ms: svc.sla.threshold_ms,
-                floor_ms: merged.floor_ms(),
-            })?;
+        let node_targets =
+            merged
+                .assign_targets(svc.sla.threshold_ms)
+                .ok_or(Error::SlaInfeasible {
+                    service,
+                    sla_ms: svc.sla.threshold_ms,
+                    floor_ms: merged.floor_ms(),
+                })?;
 
         // Per-call targets: minimum over call sites, unfolded by the
         // effective multiplicity.
@@ -392,13 +390,8 @@ pub fn plan_service(
                 .get(&ms)
                 .copied()
                 .unwrap_or_else(|| gamma_svc * svc.graph.calls_per_request(ms));
-            let n = containers_for_profile(
-                &m.profile,
-                intervals[&ms],
-                itf,
-                gamma_eff,
-                ms_targets[&ms],
-            );
+            let n =
+                containers_for_profile(&m.profile, intervals[&ms], itf, gamma_eff, ms_targets[&ms]);
             ms_containers.insert(ms, n);
         }
 

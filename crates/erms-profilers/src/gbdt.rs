@@ -90,8 +90,7 @@ impl Regressor for Gbdt {
 
     fn predict(&self, row: &[f64]) -> f64 {
         self.base
-            + self.config.learning_rate
-                * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+            + self.config.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 }
 
@@ -103,7 +102,10 @@ mod tests {
     #[test]
     fn fits_nonlinear_curve() {
         let x: Vec<Vec<f64>> = (1..300).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> = x.iter().map(|r| (r[0] / 30.0).sin() * 10.0 + 20.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| (r[0] / 30.0).sin() * 10.0 + 20.0)
+            .collect();
         let mut model = Gbdt::default();
         model.fit(&x, &y);
         let preds = model.predict_batch(&x);

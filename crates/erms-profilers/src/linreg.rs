@@ -7,6 +7,9 @@ use crate::{FitError, Regressor};
 /// partial pivoting. `a` is row-major `n×n`.
 ///
 /// Returns `None` when the matrix is (numerically) singular.
+// Index loops: elimination reads `a[col]` while writing `a[row]` — split
+// borrows of two rows, which iterator adapters cannot express cleanly.
+#[allow(clippy::needless_range_loop)]
 pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
@@ -53,12 +56,17 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
 ///
 /// * [`FitError::TooFewSamples`] when there are fewer rows than columns;
 /// * [`FitError::Singular`] when the normal equations cannot be solved.
+// Index loops: symmetrisation reads `xtx[j][i]` while writing `xtx[i][j]`.
+#[allow(clippy::needless_range_loop)]
 pub fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, FitError> {
     assert_eq!(x.len(), y.len(), "row/target count mismatch");
     let n = x.len();
     let d = x.first().map_or(0, Vec::len);
     if n < d || d == 0 {
-        return Err(FitError::TooFewSamples { got: n, need: d.max(1) });
+        return Err(FitError::TooFewSamples {
+            got: n,
+            need: d.max(1),
+        });
     }
     // Column scaling keeps the normal equations well-conditioned even when
     // features differ in magnitude by orders of magnitude (e.g. `C·γ` vs

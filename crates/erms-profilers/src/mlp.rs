@@ -227,6 +227,9 @@ impl Regressor for Mlp {
                 }
                 // SGD with momentum.
                 let scale = self.config.learning_rate / batch.len() as f64;
+                // Index loop: each step writes `w_vel[o][i]` then reads it
+                // for `weights[o][i]` — two fields of the same layer.
+                #[allow(clippy::needless_range_loop)]
                 for (layer, (gw, gb)) in self.layers.iter_mut().zip(&grads) {
                     for o in 0..layer.weights.len() {
                         for i in 0..layer.weights[o].len() {
@@ -296,7 +299,7 @@ mod tests {
             epochs: 20,
             ..MlpConfig::default()
         });
-        small_nn.fit(&full[..8].to_vec(), &y_full[..8].to_vec());
+        small_nn.fit(&full[..8], &y_full[..8]);
         let mut big_nn = Mlp::default();
         big_nn.fit(&full, &y_full);
         let small_acc = accuracy(&y_full, &small_nn.predict_batch(&full));

@@ -99,7 +99,11 @@ impl PiecewiseFitter {
             });
         }
         let mut by_gamma: Vec<&Sample> = samples.iter().collect();
-        by_gamma.sort_by(|a, b| a.gamma.partial_cmp(&b.gamma).unwrap_or(std::cmp::Ordering::Equal));
+        by_gamma.sort_by(|a, b| {
+            a.gamma
+                .partial_cmp(&b.gamma)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         // Single-segment reference fit.
         let (single_seg, single_sse) = fit_segment(&by_gamma)?;
@@ -127,7 +131,7 @@ impl PiecewiseFitter {
                 continue;
             };
             let sse = low_sse + high_sse;
-            if best.as_ref().map_or(true, |(_, _, _, s)| sse < *s) {
+            if best.as_ref().is_none_or(|(_, _, _, s)| sse < *s) {
                 best = Some((sigma, low_seg, high_seg, sse));
             }
         }
@@ -260,10 +264,7 @@ fn profile_sse(samples: &[Sample], profile: &LatencyProfile) -> f64 {
     samples
         .iter()
         .map(|s| {
-            let pred = profile.eval(
-                s.gamma,
-                erms_core::latency::Interference::new(s.cpu, s.mem),
-            );
+            let pred = profile.eval(s.gamma, erms_core::latency::Interference::new(s.cpu, s.mem));
             (pred - s.latency_ms).powi(2)
         })
         .sum()
@@ -275,7 +276,11 @@ fn profile_sse(samples: &[Sample], profile: &LatencyProfile) -> f64 {
 /// single line.
 fn knee_scan(group: &[&Sample], min_side: usize) -> Option<f64> {
     let mut sorted: Vec<&Sample> = group.to_vec();
-    sorted.sort_by(|a, b| a.gamma.partial_cmp(&b.gamma).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| {
+        a.gamma
+            .partial_cmp(&b.gamma)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     // Returns (sse, slope) of a 1-D line fit.
     let line_fit = |part: &[&Sample]| -> (f64, f64) {
         let x: Vec<Vec<f64>> = part.iter().map(|s| vec![s.gamma, 1.0]).collect();
@@ -305,7 +310,7 @@ fn knee_scan(group: &[&Sample], min_side: usize) -> Option<f64> {
             continue;
         }
         let sse = low_sse + high_sse;
-        if best.map_or(true, |(_, s)| sse < s) {
+        if best.is_none_or(|(_, s)| sse < s) {
             best = Some((sorted[pos].gamma, sse));
         }
     }
@@ -403,7 +408,10 @@ mod tests {
             .map(|i| Sample::new(0.02 * i as f64 + 1.0, i as f64, 0.5, 0.5))
             .collect();
         let profile = PiecewiseFitter::default().fit(&samples).unwrap();
-        assert_eq!(profile.cutoff_at(Interference::new(0.5, 0.5)), f64::INFINITY);
+        assert_eq!(
+            profile.cutoff_at(Interference::new(0.5, 0.5)),
+            f64::INFINITY
+        );
     }
 
     #[test]

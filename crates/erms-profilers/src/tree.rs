@@ -93,9 +93,8 @@ impl RegressionTree {
         let Some((feature, threshold)) = self.best_split(x, y, indices) else {
             return node_id;
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| x[i][feature] < threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] < threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             return node_id;
         }
@@ -110,6 +109,9 @@ impl RegressionTree {
         node_id
     }
 
+    // Index loop: `feature` indexes the *inner* vec of every row, not a
+    // single slice, and is also part of the returned split.
+    #[allow(clippy::needless_range_loop)]
     fn best_split(&self, x: &[Vec<f64>], y: &[f64], indices: &[usize]) -> Option<(usize, f64)> {
         let d = x.first()?.len();
         let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
@@ -122,8 +124,8 @@ impl RegressionTree {
             if values.len() < 2 {
                 continue;
             }
-            let step = (values.len() as f64 / (self.config.candidate_thresholds + 1) as f64)
-                .max(1.0);
+            let step =
+                (values.len() as f64 / (self.config.candidate_thresholds + 1) as f64).max(1.0);
             let mut k = step;
             while (k as usize) < values.len() {
                 let threshold = 0.5 * (values[k as usize - 1] + values[k as usize]);
@@ -141,7 +143,7 @@ impl RegressionTree {
                 if left_count > 0.0 && right_count > 0.0 {
                     let score =
                         left_sum * left_sum / left_count + right_sum * right_sum / right_count;
-                    if best.map_or(true, |(_, _, s)| score > s) {
+                    if best.is_none_or(|(_, _, s)| score > s) {
                         best = Some((feature, threshold, score));
                     }
                 }

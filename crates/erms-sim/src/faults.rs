@@ -1,0 +1,405 @@
+//! Deterministic fault injection for the simulator and the controller loop.
+//!
+//! The paper's controller runs on a real 20-host cluster where containers
+//! crash, hosts drain and traces go missing. This module gives the
+//! reproduction the same hostile environment, at two levels:
+//!
+//! * [`FaultPlan`] — request-granularity faults injected into one
+//!   [`Simulation`](crate::runtime::Simulation) run: container crashes
+//!   (capacity lost mid-run, queued and in-flight requests disrupted),
+//!   correlated host failures, cold-start delays on newly scaled-up
+//!   containers, front-door request drops, an end-to-end deadline, and
+//!   trace-span loss. Crash-style faults become events in the
+//!   discrete-event engine; per-request faults draw from the engine's
+//!   seeded RNG, so every run is reproducible.
+//! * [`ClusterFaultPlan`] — round-granularity faults applied to a
+//!   [`ClusterState`] between controller rounds, for driving
+//!   [`ResilientManager`](erms_core::resilience::ResilientManager)
+//!   experiments: container crashes, whole-host failures, host
+//!   replacements and background (batch) load swings.
+//!
+//! Both plans can be authored explicitly (builder methods) or generated
+//! from a seed, and both are plain data — `Serialize`/`Deserialize` — so a
+//! fault scenario can be stored next to the experiment it belongs to.
+
+use std::collections::BTreeMap;
+
+use erms_core::app::App;
+use erms_core::ids::MicroserviceId;
+use erms_core::provisioning::{ClusterState, Host};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A container-crash fault: at `at_ms`, up to `count` containers of `ms`
+/// are lost. Requests queued on or being served by a crashed container are
+/// disrupted (counted as crash-induced violations in
+/// [`SimResult`](crate::runtime::SimResult)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContainerCrash {
+    /// The microservice losing containers.
+    pub ms: MicroserviceId,
+    /// Simulated time of the crash, in ms.
+    pub at_ms: f64,
+    /// Number of containers lost.
+    pub count: u32,
+}
+
+/// A host failure: at `at_ms`, every listed deployment loses the given
+/// number of containers *simultaneously* — the correlated-loss pattern that
+/// distinguishes a host failure from independent container crashes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostFailure {
+    /// Simulated time of the failure, in ms.
+    pub at_ms: f64,
+    /// Containers lost per microservice (the host's residents).
+    pub losses: BTreeMap<MicroserviceId, u32>,
+}
+
+/// A cold-start delay: `count` containers of `ms` (of the configured
+/// deployment) only begin serving `delay_ms` into the run — the scale-up
+/// lag of pulling an image and warming a runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColdStart {
+    /// The microservice whose new containers start cold.
+    pub ms: MicroserviceId,
+    /// Number of containers starting cold.
+    pub count: u32,
+    /// Time until they become available, in ms.
+    pub delay_ms: f64,
+}
+
+/// A seeded, deterministic fault scenario for one simulation run.
+///
+/// An empty (default) plan injects nothing and leaves the simulation's
+/// behaviour bit-for-bit identical to a run without a plan.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Container crashes, by time.
+    pub container_crashes: Vec<ContainerCrash>,
+    /// Correlated host failures, by time.
+    pub host_failures: Vec<HostFailure>,
+    /// Cold-start delays applied at run start.
+    pub cold_starts: Vec<ColdStart>,
+    /// Probability an arriving request is dropped at the front door
+    /// (connection refused / load-balancer error).
+    pub drop_probability: f64,
+    /// End-to-end deadline: completions beyond it count as timed out and
+    /// are excluded from the latency statistics (the client gave up).
+    pub deadline_ms: Option<f64>,
+    /// Probability each emitted span is lost before reaching the trace
+    /// store (collector back-pressure, agent restarts).
+    pub span_loss: f64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.container_crashes.is_empty()
+            && self.host_failures.is_empty()
+            && self.cold_starts.is_empty()
+            && self.drop_probability <= 0.0
+            && self.deadline_ms.is_none()
+            && self.span_loss <= 0.0
+    }
+
+    /// Adds a container crash.
+    #[must_use]
+    pub fn crash(mut self, ms: MicroserviceId, at_ms: f64, count: u32) -> Self {
+        self.container_crashes
+            .push(ContainerCrash { ms, at_ms, count });
+        self
+    }
+
+    /// Adds a correlated host failure.
+    #[must_use]
+    pub fn host_failure(mut self, at_ms: f64, losses: BTreeMap<MicroserviceId, u32>) -> Self {
+        self.host_failures.push(HostFailure { at_ms, losses });
+        self
+    }
+
+    /// Marks `count` containers of `ms` as cold for `delay_ms`.
+    #[must_use]
+    pub fn cold_start(mut self, ms: MicroserviceId, count: u32, delay_ms: f64) -> Self {
+        self.cold_starts.push(ColdStart {
+            ms,
+            count,
+            delay_ms,
+        });
+        self
+    }
+
+    /// Sets the front-door drop probability.
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the end-to-end request deadline.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Sets the span-loss probability.
+    #[must_use]
+    pub fn with_span_loss(mut self, p: f64) -> Self {
+        self.span_loss = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates a random crash schedule: expected `crash_rate_per_min`
+    /// single-container crashes per minute, uniformly over `(0,
+    /// duration_ms)`, targeting microservices drawn uniformly from the
+    /// app's catalogue. Deterministic given the seed.
+    pub fn random_crashes(seed: u64, app: &App, duration_ms: f64, crash_rate_per_min: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ms_ids: Vec<MicroserviceId> = app.microservices().map(|(id, _)| id).collect();
+        let mut plan = Self::new();
+        if ms_ids.is_empty() || duration_ms <= 0.0 || crash_rate_per_min <= 0.0 {
+            return plan;
+        }
+        let expected = crash_rate_per_min * duration_ms / 60_000.0;
+        // Poisson-ish: round the expectation, at least one crash if the
+        // expectation is positive, so a seeded plan is never silently empty.
+        let crashes = expected.round().max(1.0) as usize;
+        for _ in 0..crashes {
+            let ms = ms_ids[rng.gen_range(0..ms_ids.len())];
+            let at_ms = rng.gen_range(0.0..duration_ms);
+            plan.container_crashes.push(ContainerCrash {
+                ms,
+                at_ms,
+                count: 1,
+            });
+        }
+        plan.container_crashes
+            .sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        plan
+    }
+}
+
+/// One cluster-level fault applied between controller rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterFault {
+    /// Crash up to `count` containers of `ms` (most-loaded hosts first).
+    CrashContainers {
+        /// The microservice losing containers.
+        ms: MicroserviceId,
+        /// Containers to crash.
+        count: u32,
+    },
+    /// Remove host `index`; every resident container is lost.
+    FailHost {
+        /// Index into the cluster's host list.
+        index: usize,
+    },
+    /// Add a replacement host with the given capacity.
+    AddHost {
+        /// CPU capacity in cores.
+        cpu: f64,
+        /// Memory capacity in MB.
+        mem: f64,
+    },
+    /// Set the background (batch) load of host `index`.
+    SetBackground {
+        /// Index into the cluster's host list.
+        index: usize,
+        /// Background CPU in cores.
+        cpu: f64,
+        /// Background memory in MB.
+        mem: f64,
+    },
+}
+
+/// A round-indexed schedule of [`ClusterFault`]s for controller-loop
+/// experiments: each fault fires *before* the controller round with the
+/// same (1-based) number.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterFaultPlan {
+    faults: BTreeMap<u64, Vec<ClusterFault>>,
+}
+
+impl ClusterFaultPlan {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a fault before round `round` (1-based).
+    #[must_use]
+    pub fn at_round(mut self, round: u64, fault: ClusterFault) -> Self {
+        self.faults.entry(round).or_default().push(fault);
+        self
+    }
+
+    /// The last round with a scheduled fault, if any.
+    pub fn last_fault_round(&self) -> Option<u64> {
+        self.faults.keys().next_back().copied()
+    }
+
+    /// Applies every fault scheduled for `round` to the cluster, returning
+    /// how many fired. Out-of-range host indices and microservices with no
+    /// containers degrade to no-ops — a fault plan can never make the
+    /// injection itself panic.
+    pub fn apply(&self, round: u64, state: &mut ClusterState, app: &App) -> usize {
+        let Some(faults) = self.faults.get(&round) else {
+            return 0;
+        };
+        let mut fired = 0;
+        for fault in faults {
+            match fault {
+                ClusterFault::CrashContainers { ms, count } => {
+                    fired += usize::from(state.crash_containers(app, *ms, *count) > 0);
+                }
+                ClusterFault::FailHost { index } => {
+                    fired += usize::from(state.fail_host(*index).is_some());
+                }
+                ClusterFault::AddHost { cpu, mem } => {
+                    state.add_host(Host::new(*cpu, *mem));
+                    fired += 1;
+                }
+                ClusterFault::SetBackground { index, cpu, mem } => {
+                    if let Some(host) = state.hosts_mut().get_mut(*index) {
+                        host.background_cpu = *cpu;
+                        host.background_mem = *mem;
+                        fired += 1;
+                    }
+                }
+            }
+        }
+        fired
+    }
+
+    /// Generates a random schedule over `rounds` controller rounds:
+    /// each faulty round crashes 1–3 containers of a random microservice,
+    /// and with lower probability fails or restores a host. Deterministic
+    /// given the seed.
+    pub fn random(seed: u64, app: &App, rounds: u64, fault_probability: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ms_ids: Vec<MicroserviceId> = app.microservices().map(|(id, _)| id).collect();
+        let mut plan = Self::new();
+        if ms_ids.is_empty() {
+            return plan;
+        }
+        let p = fault_probability.clamp(0.0, 1.0);
+        let mut failed_hosts = 0usize;
+        for round in 1..=rounds {
+            if p <= 0.0 || !rng.gen_bool(p) {
+                continue;
+            }
+            let ms = ms_ids[rng.gen_range(0..ms_ids.len())];
+            let count = rng.gen_range(1..=3u32);
+            plan = plan.at_round(round, ClusterFault::CrashContainers { ms, count });
+            if rng.gen_bool(0.25) {
+                plan = plan.at_round(round, ClusterFault::FailHost { index: 0 });
+                failed_hosts += 1;
+            } else if failed_hosts > 0 && rng.gen_bool(0.5) {
+                plan = plan.at_round(
+                    round,
+                    ClusterFault::AddHost {
+                        cpu: 32.0,
+                        mem: 64.0 * 1024.0,
+                    },
+                );
+                failed_hosts -= 1;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erms_core::app::{AppBuilder, Sla};
+    use erms_core::latency::LatencyProfile;
+    use erms_core::resources::Resources;
+
+    fn tiny_app() -> (App, MicroserviceId) {
+        let mut b = AppBuilder::new("f");
+        let m = b.microservice(
+            "m",
+            LatencyProfile::linear(0.01, 1.0),
+            Resources::new(1.0, 1024.0),
+        );
+        b.service("s", Sla::p95_ms(100.0), |g| {
+            g.entry(m);
+        });
+        (b.build().unwrap(), m)
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(!FaultPlan::new()
+            .crash(MicroserviceId::new(0), 10.0, 1)
+            .is_empty());
+        assert!(!FaultPlan::new().with_deadline_ms(50.0).is_empty());
+    }
+
+    #[test]
+    fn random_crashes_are_deterministic_and_sorted() {
+        let (app, _) = tiny_app();
+        let a = FaultPlan::random_crashes(9, &app, 60_000.0, 5.0);
+        let b = FaultPlan::random_crashes(9, &app, 60_000.0, 5.0);
+        assert_eq!(a, b);
+        assert!(!a.container_crashes.is_empty());
+        for w in a.container_crashes.windows(2) {
+            assert!(w[0].at_ms <= w[1].at_ms);
+        }
+        let c = FaultPlan::random_crashes(10, &app, 60_000.0, 5.0);
+        assert_ne!(a, c, "different seeds should give different schedules");
+    }
+
+    #[test]
+    fn cluster_plan_applies_and_survives_bad_indices() {
+        let (app, ms) = tiny_app();
+        let mut state = ClusterState::paper_cluster();
+        let plan = ClusterFaultPlan::new()
+            .at_round(1, ClusterFault::FailHost { index: 5 })
+            .at_round(1, ClusterFault::FailHost { index: 999 }) // no-op
+            .at_round(2, ClusterFault::CrashContainers { ms, count: 2 }) // no containers: no-op
+            .at_round(
+                3,
+                ClusterFault::AddHost {
+                    cpu: 32.0,
+                    mem: 65_536.0,
+                },
+            )
+            .at_round(
+                3,
+                ClusterFault::SetBackground {
+                    index: 0,
+                    cpu: 8.0,
+                    mem: 0.0,
+                },
+            );
+        assert_eq!(plan.last_fault_round(), Some(3));
+        assert_eq!(plan.apply(1, &mut state, &app), 1);
+        assert_eq!(state.len(), 19);
+        assert_eq!(plan.apply(2, &mut state, &app), 0);
+        assert_eq!(plan.apply(3, &mut state, &app), 2);
+        assert_eq!(state.len(), 20);
+        assert_eq!(state.hosts()[0].background_cpu, 8.0);
+        assert_eq!(plan.apply(4, &mut state, &app), 0, "no faults scheduled");
+    }
+
+    #[test]
+    fn random_cluster_plan_is_deterministic() {
+        let (app, _) = tiny_app();
+        let a = ClusterFaultPlan::random(3, &app, 20, 0.5);
+        let b = ClusterFaultPlan::random(3, &app, 20, 0.5);
+        assert_eq!(a, b);
+        assert!(a.last_fault_round().is_some());
+        assert!(ClusterFaultPlan::random(3, &app, 20, 0.0)
+            .last_fault_round()
+            .is_none());
+    }
+}

@@ -12,6 +12,11 @@
 //!
 //! * [`runtime`] — the event-driven engine, FCFS and δ-probabilistic
 //!   priority scheduling (§5.3.2), span emission;
+//! * [`faults`] — seeded, deterministic fault injection: container
+//!   crashes, host failures, cold starts, request drops, deadlines and
+//!   span loss for single runs ([`FaultPlan`]), plus round-granularity
+//!   cluster faults for controller-loop experiments
+//!   ([`ClusterFaultPlan`]);
 //! * [`service_time`] — lognormal, interference-sensitive service times;
 //! * [`stats`] — percentile helpers.
 //!
@@ -42,7 +47,7 @@
 //! let mut workloads = WorkloadVector::new();
 //! workloads.set(svc, RequestRate::per_minute(3_000.0));
 //! let containers: BTreeMap<_, _> = [(front, 2), (back, 2)].into_iter().collect();
-//! let result = sim.run(&workloads, &containers, &BTreeMap::new());
+//! let result = sim.run(&workloads, &containers, &BTreeMap::new())?;
 //! assert!(result.completed > 0);
 //! println!("P95 = {:.2} ms", result.latency_percentile(svc, 0.95));
 //! # Ok::<(), erms_core::Error>(())
@@ -51,9 +56,11 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod faults;
 pub mod runtime;
 pub mod service_time;
 pub mod stats;
 
+pub use faults::{ClusterFault, ClusterFaultPlan, FaultPlan};
 pub use runtime::{Scheduling, SimConfig, SimResult, Simulation};
 pub use service_time::ServiceTimeModel;

@@ -12,6 +12,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use erms_core::app::{App, WorkloadVector};
+use erms_core::error::{Error, Result};
 use erms_core::ids::{MicroserviceId, NodeId, ServiceId};
 use erms_core::latency::Interference;
 use erms_trace::extract::LatencyObservation;
@@ -20,6 +21,7 @@ use erms_trace::store::TraceStore;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::faults::FaultPlan;
 use crate::service_time::ServiceTimeModel;
 use crate::stats;
 
@@ -88,6 +90,7 @@ pub struct Simulation<'a> {
     threads: BTreeMap<MicroserviceId, usize>,
     interference: BTreeMap<MicroserviceId, Interference>,
     uniform_itf: Interference,
+    faults: FaultPlan,
 }
 
 impl<'a> Simulation<'a> {
@@ -101,6 +104,7 @@ impl<'a> Simulation<'a> {
             threads: BTreeMap::new(),
             interference: BTreeMap::new(),
             uniform_itf: Interference::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -129,18 +133,128 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Injects a fault scenario into the next [`Simulation::run`].
+    ///
+    /// An empty plan (the default) leaves runs bit-for-bit identical to a
+    /// simulation without one.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.faults = plan;
+        self
+    }
+
     /// Runs the simulation.
     ///
     /// `containers` gives the deployment size per microservice;
     /// `priorities` the service order (highest first) at prioritised
     /// microservices — pass an empty map for FCFS everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configurations before any event is processed:
+    ///
+    /// * [`Error::UnknownService`] / [`Error::UnknownMicroservice`] — a
+    ///   workload or container entry names an id the app does not have;
+    /// * [`Error::ZeroContainers`] — a microservice on the call path of a
+    ///   service with positive workload is deployed with zero containers
+    ///   (an explicit scale-to-zero next to live demand is a configuration
+    ///   error; *losing* all containers mid-run is not — that surfaces as
+    ///   [`SimResult::dropped`]);
+    /// * [`Error::InvalidParameter`] — non-finite or negative rates,
+    ///   service-time parameters or fault-plan probabilities.
     pub fn run(
         &self,
         workloads: &WorkloadVector,
         containers: &BTreeMap<MicroserviceId, u32>,
         priorities: &BTreeMap<MicroserviceId, Vec<ServiceId>>,
-    ) -> SimResult {
-        Engine::new(self, workloads, containers, priorities).run()
+    ) -> Result<SimResult> {
+        self.validate(workloads, containers)?;
+        Ok(Engine::new(self, workloads, containers, priorities).run())
+    }
+
+    /// Checks everything user-supplied before the engine starts, so the
+    /// event loop itself only ever sees internally-consistent state.
+    fn validate(
+        &self,
+        workloads: &WorkloadVector,
+        containers: &BTreeMap<MicroserviceId, u32>,
+    ) -> Result<()> {
+        for &ms in containers.keys() {
+            self.app.microservice(ms)?;
+        }
+        for (&ms, model) in &self.service_times {
+            self.app.microservice(ms)?;
+            let ok = model.base_ms.is_finite()
+                && model.base_ms > 0.0
+                && model.cv.is_finite()
+                && model.cv >= 0.0
+                && model.cpu_sensitivity.is_finite()
+                && model.mem_sensitivity.is_finite();
+            if !ok {
+                return Err(Error::InvalidParameter(format!(
+                    "service-time model for {ms} has non-finite or non-positive parameters"
+                )));
+            }
+        }
+        for (sid, rate) in workloads.iter() {
+            let lambda = rate.as_per_ms();
+            if !lambda.is_finite() || lambda < 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "request rate for service {sid} must be finite and non-negative, got {lambda}/ms"
+                )));
+            }
+            if lambda == 0.0 {
+                continue;
+            }
+            let svc = self.app.service(sid)?;
+            for ms in svc.graph.microservices() {
+                if containers.get(&ms).copied().unwrap_or(0) == 0 {
+                    return Err(Error::ZeroContainers { microservice: ms });
+                }
+            }
+        }
+        let p = &self.faults;
+        if !(0.0..=1.0).contains(&p.drop_probability) || !(0.0..=1.0).contains(&p.span_loss) {
+            return Err(Error::InvalidParameter(
+                "fault probabilities must lie in [0, 1]".into(),
+            ));
+        }
+        if let Some(d) = p.deadline_ms {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "request deadline must be finite and positive, got {d} ms"
+                )));
+            }
+        }
+        for crash in &p.container_crashes {
+            self.app.microservice(crash.ms)?;
+            if !crash.at_ms.is_finite() || crash.at_ms < 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "crash time must be finite and non-negative, got {} ms",
+                    crash.at_ms
+                )));
+            }
+        }
+        for failure in &p.host_failures {
+            if !failure.at_ms.is_finite() || failure.at_ms < 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "host-failure time must be finite and non-negative, got {} ms",
+                    failure.at_ms
+                )));
+            }
+            for &ms in failure.losses.keys() {
+                self.app.microservice(ms)?;
+            }
+        }
+        for cold in &p.cold_starts {
+            self.app.microservice(cold.ms)?;
+            if !cold.delay_ms.is_finite() || cold.delay_ms < 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "cold-start delay must be finite and non-negative, got {} ms",
+                    cold.delay_ms
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -158,8 +272,22 @@ pub struct SimResult {
     pub generated: u64,
     /// Requests completed.
     pub completed: u64,
-    /// Requests dropped because a microservice had zero containers.
+    /// Requests dropped: front-door drops
+    /// ([`FaultPlan::drop_probability`]) plus calls that found no live
+    /// container (all crashed mid-run).
     pub dropped: u64,
+    /// Requests that completed past the [`FaultPlan::deadline_ms`]
+    /// deadline; excluded from `completed` and the latency statistics.
+    pub timed_out: u64,
+    /// Calls disrupted by a container crash — queued on or being served by
+    /// a container at the moment it died. Each is an SLA violation the
+    /// latency percentiles cannot see.
+    pub crash_violations: u64,
+    /// Containers lost to crashes and host failures over the run.
+    pub crashed_containers: u64,
+    /// Spans dropped before reaching the trace store
+    /// ([`FaultPlan::span_loss`]).
+    pub lost_spans: u64,
 }
 
 impl SimResult {
@@ -209,6 +337,16 @@ enum Event {
     Ready(u32),
     /// A call's own processing finished on its container thread.
     Done(u32),
+    /// A scheduled fault fires (index into the engine's fault schedule).
+    Fault(u32),
+}
+
+/// A crash-style fault lowered into engine form: host failures become a
+/// batch of per-microservice losses so both fault kinds share one path.
+#[derive(Debug, Clone)]
+struct EngineFault {
+    at_ms: f64,
+    losses: Vec<(MicroserviceId, u32)>,
 }
 
 #[derive(Debug)]
@@ -254,12 +392,21 @@ struct Call {
     root_start: f64,
     trace: Option<(TraceId, SpanId)>,
     in_use: bool,
+    /// Currently holding a container thread (a `Done` event is in flight).
+    in_service: bool,
+    /// The serving container crashed; the pending `Done` is void.
+    killed: bool,
 }
 
 #[derive(Debug)]
 struct Container {
     busy: usize,
     queues: Vec<VecDeque<u32>>,
+    /// Crashed mid-run: receives no further calls. Kept in place so
+    /// container indices held by in-flight calls stay stable.
+    failed: bool,
+    /// Cold-start gate: processing cannot begin before this time.
+    available_from: f64,
 }
 
 #[derive(Debug)]
@@ -290,6 +437,11 @@ struct Engine<'s, 'a> {
     generated: u64,
     completed: u64,
     dropped: u64,
+    timed_out: u64,
+    crash_violations: u64,
+    crashed_containers: u64,
+    lost_spans: u64,
+    fault_schedule: Vec<EngineFault>,
 }
 
 impl<'s, 'a> Engine<'s, 'a> {
@@ -330,6 +482,8 @@ impl<'s, 'a> Engine<'s, 'a> {
                         .map(|_| Container {
                             busy: 0,
                             queues: (0..n_classes).map(|_| VecDeque::new()).collect(),
+                            failed: false,
+                            available_from: 0.0,
                         })
                         .collect(),
                     rr: 0,
@@ -342,6 +496,40 @@ impl<'s, 'a> Engine<'s, 'a> {
                 },
             );
         }
+        // Cold starts gate the *newest* containers of a deployment — the
+        // ones a scale-up just added.
+        for cold in &sim.faults.cold_starts {
+            if let Some(dep) = deployments.get_mut(&cold.ms) {
+                let n = dep.containers.len();
+                let first = n.saturating_sub(cold.count as usize);
+                for container in &mut dep.containers[first..] {
+                    container.available_from = container.available_from.max(cold.delay_ms);
+                }
+            }
+        }
+        // Crash-style faults become ordinary events in the heap, so they
+        // interleave with arrivals and completions deterministically.
+        let mut fault_schedule: Vec<EngineFault> = sim
+            .faults
+            .container_crashes
+            .iter()
+            .filter(|c| c.at_ms <= sim.config.duration_ms)
+            .map(|c| EngineFault {
+                at_ms: c.at_ms,
+                losses: vec![(c.ms, c.count)],
+            })
+            .chain(
+                sim.faults
+                    .host_failures
+                    .iter()
+                    .filter(|h| h.at_ms <= sim.config.duration_ms)
+                    .map(|h| EngineFault {
+                        at_ms: h.at_ms,
+                        losses: h.losses.iter().map(|(&m, &c)| (m, c)).collect(),
+                    }),
+            )
+            .collect();
+        fault_schedule.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
         Self {
             sim,
             workloads,
@@ -359,6 +547,11 @@ impl<'s, 'a> Engine<'s, 'a> {
             generated: 0,
             completed: 0,
             dropped: 0,
+            timed_out: 0,
+            crash_violations: 0,
+            crashed_containers: 0,
+            lost_spans: 0,
+            fault_schedule,
         }
     }
 
@@ -401,6 +594,10 @@ impl<'s, 'a> Engine<'s, 'a> {
                 self.push(dt, Event::Arrival(sid));
             }
         }
+        for i in 0..self.fault_schedule.len() {
+            let at = self.fault_schedule[i].at_ms;
+            self.push(at, Event::Fault(i as u32));
+        }
         let mut events = 0u64;
         while let Some(HeapItem { time, event, .. }) = self.heap.pop() {
             events += 1;
@@ -411,6 +608,7 @@ impl<'s, 'a> Engine<'s, 'a> {
                 Event::Arrival(sid) => self.on_arrival(sid, time),
                 Event::Ready(call) => self.on_ready(call, time),
                 Event::Done(call) => self.on_done(call, time),
+                Event::Fault(i) => self.on_fault(i as usize),
             }
         }
         SimResult {
@@ -420,6 +618,63 @@ impl<'s, 'a> Engine<'s, 'a> {
             generated: self.generated,
             completed: self.completed,
             dropped: self.dropped,
+            timed_out: self.timed_out,
+            crash_violations: self.crash_violations,
+            crashed_containers: self.crashed_containers,
+            lost_spans: self.lost_spans,
+        }
+    }
+
+    /// Fires one scheduled crash: mark containers failed, drain their
+    /// queues and void their in-service calls. Crashing more containers
+    /// than a deployment has degrades to losing them all.
+    fn on_fault(&mut self, index: usize) {
+        let losses = self.fault_schedule[index].losses.clone();
+        for (ms, count) in losses {
+            let Some(dep) = self.deployments.get_mut(&ms) else {
+                continue;
+            };
+            let mut to_fail = Vec::new();
+            for (c_idx, container) in dep.containers.iter_mut().enumerate() {
+                if to_fail.len() == count as usize {
+                    break;
+                }
+                if container.failed {
+                    continue;
+                }
+                container.failed = true;
+                to_fail.push(c_idx as u32);
+            }
+            self.crashed_containers += to_fail.len() as u64;
+            let mut victims: Vec<u32> = Vec::new();
+            for &c_idx in &to_fail {
+                let container = &mut self
+                    .deployments
+                    .get_mut(&ms)
+                    .expect("deployment exists")
+                    .containers[c_idx as usize];
+                container.busy = 0;
+                for queue in &mut container.queues {
+                    victims.extend(queue.drain(..));
+                }
+            }
+            // Queued victims unwind immediately; in-service victims keep
+            // their pending `Done` event, which `on_done` voids via the
+            // `killed` flag.
+            for call in &mut self.calls {
+                if call.in_use
+                    && call.in_service
+                    && call.ms == ms
+                    && to_fail.contains(&call.container)
+                {
+                    call.killed = true;
+                    self.crash_violations += 1;
+                }
+            }
+            for idx in victims {
+                self.crash_violations += 1;
+                self.abandon(idx);
+            }
         }
     }
 
@@ -433,7 +688,15 @@ impl<'s, 'a> Engine<'s, 'a> {
             }
         }
         self.generated += 1;
-        let svc = self.sim.app.service(sid).expect("valid service");
+        // Front-door drop (load-balancer error). The RNG is only consulted
+        // when the fault is armed, so an empty plan stays bit-identical.
+        let drop_p = self.sim.faults.drop_probability;
+        if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
+            self.dropped += 1;
+            return;
+        }
+        // `validate` established the service exists.
+        let svc = self.sim.app.service(sid).expect("validated service");
         let root_node = svc.graph.root();
         let ms = svc.graph.node(root_node).microservice;
         let trace = {
@@ -460,6 +723,8 @@ impl<'s, 'a> Engine<'s, 'a> {
             root_start: time,
             trace,
             in_use: true,
+            in_service: false,
+            killed: false,
         });
         self.push(time, Event::Ready(call));
     }
@@ -474,14 +739,27 @@ impl<'s, 'a> Engine<'s, 'a> {
             self.abandon(idx);
             return;
         };
-        if dep.containers.is_empty() {
+        // Round-robin container choice over live containers; crashed ones
+        // stay in the vec (indices held by in-flight calls must remain
+        // stable) but receive nothing.
+        let n = dep.containers.len();
+        let mut c_idx = None;
+        for step in 1..=n {
+            let cand = (dep.rr + step) % n.max(1);
+            if n > 0 && !dep.containers[cand].failed {
+                c_idx = Some(cand);
+                break;
+            }
+        }
+        let Some(c_idx) = c_idx else {
+            // Zero configured containers (caught by `validate` for loaded
+            // services) or every container crashed mid-run: the request is
+            // lost, not an error.
             self.dropped += 1;
             self.abandon(idx);
             return;
-        }
-        // Round-robin container choice.
-        dep.rr = (dep.rr + 1) % dep.containers.len();
-        let c_idx = dep.rr;
+        };
+        dep.rr = c_idx;
         self.calls[idx as usize].container = c_idx as u32;
         self.calls[idx as usize].arrive = time;
         let threads = dep.threads;
@@ -493,14 +771,26 @@ impl<'s, 'a> Engine<'s, 'a> {
         let container = &mut dep.containers[c_idx];
         if container.busy < threads {
             container.busy += 1;
+            // A cold container accepts work but cannot process it before
+            // its start-up completes.
+            let start = time.max(container.available_from);
             let dt = dep.model.sample(dep.itf, &mut self.rng);
-            self.push(time + dt, Event::Done(idx));
+            self.calls[idx as usize].in_service = true;
+            self.push(start + dt, Event::Done(idx));
         } else {
             container.queues[class].push_back(idx);
         }
     }
 
     fn on_done(&mut self, idx: u32, time: f64) {
+        // The serving container crashed while this call held a thread: the
+        // crash already counted the violation and reset the container's
+        // bookkeeping, so the finished work is simply void.
+        if self.calls[idx as usize].killed {
+            self.abandon(idx);
+            return;
+        }
+        self.calls[idx as usize].in_service = false;
         // Free the thread and start the next queued call, if any.
         let (ms, container_idx) = {
             let call = &self.calls[idx as usize];
@@ -513,19 +803,27 @@ impl<'s, 'a> Engine<'s, 'a> {
                 Scheduling::Fcfs => 0.0,
             };
             let container = &mut dep.containers[container_idx];
-            let picked = pick_next(&mut container.queues, delta, &mut self.rng);
-            match picked {
-                Some(next) => {
-                    let dt = dep.model.sample(dep.itf, &mut self.rng);
-                    Some((next, dt))
-                }
-                None => {
-                    container.busy -= 1;
-                    None
+            if container.failed {
+                // Defensive: a crash voids in-service calls via `killed`
+                // above, so a live call on a failed container cannot reach
+                // here; never touch a dead container's bookkeeping.
+                None
+            } else {
+                let picked = pick_next(&mut container.queues, delta, &mut self.rng);
+                match picked {
+                    Some(next) => {
+                        let dt = dep.model.sample(dep.itf, &mut self.rng);
+                        Some((next, dt))
+                    }
+                    None => {
+                        container.busy -= 1;
+                        None
+                    }
                 }
             }
         };
         if let Some((next, dt)) = next_start {
+            self.calls[next as usize].in_service = true;
             self.push(time + dt, Event::Done(next));
         }
 
@@ -551,7 +849,9 @@ impl<'s, 'a> Engine<'s, 'a> {
             let call = &self.calls[idx as usize];
             (call.service, call.node)
         };
-        let svc = self.sim.app.service(service).expect("valid service");
+        // Invariant, not user-reachable: calls are only created for
+        // services that passed `validate`.
+        let svc = self.sim.app.service(service).expect("validated service");
         let node = svc.graph.node(node_id);
         if stage >= node.stages.len() {
             self.complete(idx, time);
@@ -564,10 +864,9 @@ impl<'s, 'a> Engine<'s, 'a> {
             let copies = self.multiplicity_copies(svc, child_node);
             for _ in 0..copies {
                 let child_ms = svc.graph.node(child_node).microservice;
-                let trace = match self.calls[idx as usize].trace {
-                    Some((trace_id, _)) => Some((trace_id, self.next_span_id())),
-                    None => None,
-                };
+                let trace = self.calls[idx as usize]
+                    .trace
+                    .map(|(trace_id, _)| (trace_id, self.next_span_id()));
                 let root_start = self.calls[idx as usize].root_start;
                 let child = self.alloc_call(Call {
                     service,
@@ -583,6 +882,8 @@ impl<'s, 'a> Engine<'s, 'a> {
                     root_start,
                     trace,
                     in_use: true,
+                    in_service: false,
+                    killed: false,
                 });
                 self.push(time + net, Event::Ready(child));
                 spawned += 1;
@@ -617,7 +918,7 @@ impl<'s, 'a> Engine<'s, 'a> {
             let parent_span = call
                 .parent
                 .and_then(|p| self.calls[p as usize].trace.map(|(_, s)| s));
-            self.store.record(Span {
+            let span = Span {
                 trace_id,
                 span_id,
                 parent: parent_span,
@@ -626,29 +927,41 @@ impl<'s, 'a> Engine<'s, 'a> {
                 kind: SpanKind::Server,
                 start_ms: call.arrive,
                 end_ms: time,
-            });
+            };
+            self.record_span(span);
         }
         let net = self.sim.config.network_delay_ms;
         match call.parent {
             None => {
-                // End-to-end completion.
-                self.completed += 1;
-                if call.root_start >= self.sim.config.warmup_ms {
-                    self.result_latencies
-                        .entry(call.service)
-                        .or_default()
-                        .push(time - call.root_start);
+                // End-to-end completion — unless the client already gave
+                // up (deadline exceeded): then it is a timeout, invisible
+                // to the latency percentiles.
+                let e2e = time - call.root_start;
+                if self
+                    .sim
+                    .faults
+                    .deadline_ms
+                    .is_some_and(|deadline| e2e > deadline)
+                {
+                    self.timed_out += 1;
+                } else {
+                    self.completed += 1;
+                    if call.root_start >= self.sim.config.warmup_ms {
+                        self.result_latencies
+                            .entry(call.service)
+                            .or_default()
+                            .push(e2e);
+                    }
                 }
                 self.release_call(idx);
             }
             Some(parent) => {
                 // Client span at the parent side.
-                if let (Some((trace_id, _)), Some((_, parent_server))) = (
-                    call.trace,
-                    self.calls[parent as usize].trace,
-                ) {
+                if let (Some((trace_id, _)), Some((_, parent_server))) =
+                    (call.trace, self.calls[parent as usize].trace)
+                {
                     let client_span = self.next_span_id();
-                    self.store.record(Span {
+                    let span = Span {
                         trace_id,
                         span_id: client_span,
                         parent: Some(parent_server),
@@ -657,7 +970,8 @@ impl<'s, 'a> Engine<'s, 'a> {
                         kind: SpanKind::Client,
                         start_ms: call.client_start,
                         end_ms: time + net,
-                    });
+                    };
+                    self.record_span(span);
                 }
                 self.release_call(idx);
                 let parent_call = &mut self.calls[parent as usize];
@@ -668,6 +982,17 @@ impl<'s, 'a> Engine<'s, 'a> {
                     self.advance_stages(parent, time + net, next_stage);
                 }
             }
+        }
+    }
+
+    /// Records a span unless the fault plan loses it on the way to the
+    /// collector. The RNG is only consulted when span loss is armed.
+    fn record_span(&mut self, span: Span) {
+        let loss = self.sim.faults.span_loss;
+        if loss > 0.0 && self.rng.gen_bool(loss) {
+            self.lost_spans += 1;
+        } else {
+            self.store.record(span);
         }
     }
 
@@ -688,19 +1013,15 @@ impl<'s, 'a> Engine<'s, 'a> {
 /// rule (§5.3.2): walk classes from highest priority; pick a non-empty
 /// class with probability `1−δ`, otherwise move on; wrap to the first
 /// non-empty class if all were skipped.
-fn pick_next(
-    queues: &mut [VecDeque<u32>],
-    delta: f64,
-    rng: &mut impl Rng,
-) -> Option<u32> {
+fn pick_next(queues: &mut [VecDeque<u32>], delta: f64, rng: &mut impl Rng) -> Option<u32> {
     let first_non_empty = queues.iter().position(|q| !q.is_empty())?;
     if delta > 0.0 {
-        for class in first_non_empty..queues.len() {
-            if queues[class].is_empty() {
+        for queue in queues.iter_mut().skip(first_non_empty) {
+            if queue.is_empty() {
                 continue;
             }
             if rng.gen_bool(1.0 - delta) {
-                return queues[class].pop_front();
+                return queue.pop_front();
             }
         }
     }
@@ -754,7 +1075,9 @@ mod tests {
         sim.set_service_time(c, ServiceTimeModel::new(3.0, 0.0, 0.0, 0.0));
         let mut w = WorkloadVector::new();
         w.set(s, RequestRate::per_minute(600.0)); // 10/s, far below capacity
-        let result = sim.run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new());
+        let result = sim
+            .run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new())
+            .unwrap();
         assert!(result.completed > 100);
         assert_eq!(result.dropped, 0);
         let p50 = result.latency_percentile(s, 0.5);
@@ -779,8 +1102,8 @@ mod tests {
         let mut heavy = WorkloadVector::new();
         heavy.set(s, RequestRate::per_minute(27_000.0));
         let cs = containers(&[(a, 1), (c, 1)]);
-        let r_light = sim.run(&light, &cs, &BTreeMap::new());
-        let r_heavy = sim.run(&heavy, &cs, &BTreeMap::new());
+        let r_light = sim.run(&light, &cs, &BTreeMap::new()).unwrap();
+        let r_heavy = sim.run(&heavy, &cs, &BTreeMap::new()).unwrap();
         let p95_light = r_light.latency_percentile(s, 0.95);
         let p95_heavy = r_heavy.latency_percentile(s, 0.95);
         assert!(
@@ -820,8 +1143,8 @@ mod tests {
         let cs = containers(&[(u, 2), (h, 2), (p, 2)]);
         let mut priorities = BTreeMap::new();
         priorities.insert(p, vec![s1, s2]);
-        let with_prio = sim.run(&w, &cs, &priorities);
-        let no_prio = sim.run(&w, &cs, &BTreeMap::new());
+        let with_prio = sim.run(&w, &cs, &priorities).unwrap();
+        let no_prio = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
         let own = |r: &SimResult, svc: ServiceId| -> f64 {
             let rows = &r.ms_own_latencies[&p];
             let v: Vec<f64> = rows
@@ -849,7 +1172,9 @@ mod tests {
         let sim = Simulation::new(&app, config);
         let mut w = WorkloadVector::new();
         w.set(s, RequestRate::per_minute(600.0));
-        let result = sim.run(&w, &containers(&[(a, 1), (c, 1)]), &BTreeMap::new());
+        let result = sim
+            .run(&w, &containers(&[(a, 1), (c, 1)]), &BTreeMap::new())
+            .unwrap();
         assert!(result.trace_store.trace_count() > 10);
         let (_, spans) = result.trace_store.iter().next().unwrap();
         let extracted = erms_trace::extract::extract_trace_graph(spans).unwrap();
@@ -859,14 +1184,211 @@ mod tests {
     }
 
     #[test]
-    fn zero_containers_drops_requests() {
+    fn zero_containers_for_loaded_service_is_config_error() {
         let (app, [a, c], s) = chain_app();
         let sim = Simulation::new(&app, quick_config());
         let mut w = WorkloadVector::new();
         w.set(s, RequestRate::per_minute(600.0));
-        let result = sim.run(&w, &containers(&[(a, 1), (c, 0)]), &BTreeMap::new());
-        assert!(result.dropped > 0);
-        assert_eq!(result.completed, 0);
+        let err = sim
+            .run(&w, &containers(&[(a, 1), (c, 0)]), &BTreeMap::new())
+            .unwrap_err();
+        assert_eq!(err, Error::ZeroContainers { microservice: c });
+        // A zero-rate service tolerates zero containers on its path.
+        let idle = WorkloadVector::new();
+        assert!(sim
+            .run(&idle, &containers(&[(a, 1), (c, 0)]), &BTreeMap::new())
+            .is_ok());
+    }
+
+    #[test]
+    fn unknown_ids_and_bad_rates_are_rejected() {
+        let (app, [a, c], s) = chain_app();
+        let sim = Simulation::new(&app, quick_config());
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let mut cs = containers(&[(a, 1), (c, 1)]);
+        cs.insert(MicroserviceId::new(99), 1);
+        assert_eq!(
+            sim.run(&w, &cs, &BTreeMap::new()).unwrap_err(),
+            Error::UnknownMicroservice(MicroserviceId::new(99))
+        );
+        // NaN is sanitised to zero by `RequestRate::per_minute`; infinity
+        // survives it and must be caught here.
+        let mut bad = WorkloadVector::new();
+        bad.set(s, RequestRate::per_minute(f64::INFINITY));
+        assert!(matches!(
+            sim.run(&bad, &containers(&[(a, 1), (c, 1)]), &BTreeMap::new()),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn crash_to_zero_drops_instead_of_erroring() {
+        // Losing every container mid-run is a fault, not a config error:
+        // requests after the crash are dropped, ones before it complete.
+        let (app, [a, c], s) = chain_app();
+        let mut sim = Simulation::new(&app, quick_config());
+        sim.set_fault_plan(FaultPlan::new().crash(c, 10_000.0, 1));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let result = sim
+            .run(&w, &containers(&[(a, 1), (c, 1)]), &BTreeMap::new())
+            .unwrap();
+        assert!(result.completed > 0, "pre-crash traffic completes");
+        assert!(result.dropped > 0, "post-crash traffic is dropped");
+        assert_eq!(result.crashed_containers, 1);
+    }
+
+    #[test]
+    fn crash_counts_violations_and_reduces_capacity() {
+        let (app, [a, c], s) = chain_app();
+        let mut config = quick_config();
+        config.default_threads = 1;
+        let mut sim = Simulation::new(&app, config);
+        sim.set_service_time(a, ServiceTimeModel::new(2.0, 0.3, 0.0, 0.0));
+        sim.set_service_time(c, ServiceTimeModel::new(2.0, 0.3, 0.0, 0.0));
+        // Load c to ~80% of its 4-container capacity, then kill 3 of the 4
+        // mid-run: queued and in-flight work is disrupted and the survivor
+        // saturates.
+        sim.set_fault_plan(FaultPlan::new().crash(c, 15_000.0, 3));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(48_000.0));
+        let cs = containers(&[(a, 4), (c, 4)]);
+        let faulty = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
+        assert_eq!(faulty.crashed_containers, 3);
+        assert!(
+            faulty.crash_violations > 0,
+            "a loaded deployment must have calls disrupted by the crash"
+        );
+        sim.set_fault_plan(FaultPlan::new());
+        let clean = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
+        assert!(
+            faulty.latency_percentile(s, 0.95) > clean.latency_percentile(s, 0.95),
+            "post-crash queueing must raise the tail"
+        );
+    }
+
+    #[test]
+    fn host_failure_takes_correlated_losses() {
+        let (app, [a, c], s) = chain_app();
+        let mut sim = Simulation::new(&app, quick_config());
+        let mut losses = BTreeMap::new();
+        losses.insert(a, 1u32);
+        losses.insert(c, 1u32);
+        sim.set_fault_plan(FaultPlan::new().host_failure(10_000.0, losses));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let result = sim
+            .run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new())
+            .unwrap();
+        assert_eq!(result.crashed_containers, 2);
+        assert!(result.completed > 0, "survivors keep serving");
+    }
+
+    #[test]
+    fn cold_start_delays_early_requests() {
+        let (app, [a, c], s) = chain_app();
+        let mut config = quick_config();
+        config.default_threads = 1;
+        config.warmup_ms = 0.0;
+        let mut sim = Simulation::new(&app, config);
+        sim.set_service_time(a, ServiceTimeModel::new(2.0, 0.0, 0.0, 0.0));
+        sim.set_service_time(c, ServiceTimeModel::new(2.0, 0.0, 0.0, 0.0));
+        // One of c's two containers serves nothing for the first 5 s; with
+        // round-robin routing, early requests landing on it wait.
+        sim.set_fault_plan(FaultPlan::new().cold_start(c, 1, 5_000.0));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let cold = sim
+            .run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new())
+            .unwrap();
+        sim.set_fault_plan(FaultPlan::new());
+        let warm = sim
+            .run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new())
+            .unwrap();
+        assert!(
+            cold.latency_percentile(s, 0.99) > warm.latency_percentile(s, 0.99),
+            "cold-start waits must show in the tail"
+        );
+    }
+
+    #[test]
+    fn drops_and_deadline_are_accounted() {
+        let (app, [a, c], s) = chain_app();
+        let mut sim = Simulation::new(&app, quick_config());
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .with_drop_probability(0.2)
+                .with_deadline_ms(4.0), // below the ~5.2 ms typical e2e
+        );
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let result = sim
+            .run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new())
+            .unwrap();
+        assert!(result.dropped > 0, "front-door drops");
+        assert!(result.timed_out > 0, "deadline violations");
+        let frac = result.dropped as f64 / result.generated as f64;
+        assert!((frac - 0.2).abs() < 0.05, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn span_loss_thins_the_trace_store() {
+        let (app, [a, c], s) = chain_app();
+        let mut config = quick_config();
+        config.duration_ms = 10_000.0;
+        config.warmup_ms = 0.0;
+        let mut sim = Simulation::new(&app, config);
+        sim.set_fault_plan(FaultPlan::new().with_span_loss(0.5));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let lossy = sim
+            .run(&w, &containers(&[(a, 1), (c, 1)]), &BTreeMap::new())
+            .unwrap();
+        assert!(lossy.lost_spans > 0);
+        sim.set_fault_plan(FaultPlan::new());
+        let clean = sim
+            .run(&w, &containers(&[(a, 1), (c, 1)]), &BTreeMap::new())
+            .unwrap();
+        assert!(clean.trace_store.span_count() > lossy.trace_store.span_count());
+        assert_eq!(clean.lost_spans, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let (app, [a, c], s) = chain_app();
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(3_000.0));
+        let cs = containers(&[(a, 2), (c, 2)]);
+        let plain = Simulation::new(&app, quick_config())
+            .run(&w, &cs, &BTreeMap::new())
+            .unwrap();
+        let mut with_plan = Simulation::new(&app, quick_config());
+        with_plan.set_fault_plan(FaultPlan::new());
+        let planned = with_plan.run(&w, &cs, &BTreeMap::new()).unwrap();
+        assert_eq!(plain.completed, planned.completed);
+        assert_eq!(plain.service_latencies, planned.service_latencies);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_given_seed() {
+        let (app, [a, c], s) = chain_app();
+        let mut sim = Simulation::new(&app, quick_config());
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .crash(c, 8_000.0, 1)
+                .with_drop_probability(0.1)
+                .with_span_loss(0.2),
+        );
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(3_000.0));
+        let cs = containers(&[(a, 2), (c, 2)]);
+        let r1 = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
+        let r2 = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.dropped, r2.dropped);
+        assert_eq!(r1.crash_violations, r2.crash_violations);
+        assert_eq!(r1.service_latencies, r2.service_latencies);
     }
 
     #[test]
@@ -876,8 +1398,8 @@ mod tests {
         let mut w = WorkloadVector::new();
         w.set(s, RequestRate::per_minute(3_000.0));
         let cs = containers(&[(a, 2), (c, 2)]);
-        let r1 = sim.run(&w, &cs, &BTreeMap::new());
-        let r2 = sim.run(&w, &cs, &BTreeMap::new());
+        let r1 = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
+        let r2 = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
         assert_eq!(r1.completed, r2.completed);
         assert_eq!(
             r1.latency_percentile(s, 0.95),
@@ -895,9 +1417,9 @@ mod tests {
         w.set(s, RequestRate::per_minute(2_000.0));
         let cs = containers(&[(a, 2), (c, 2)]);
         sim.set_uniform_interference(Interference::new(0.1, 0.1));
-        let calm = sim.run(&w, &cs, &BTreeMap::new());
+        let calm = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
         sim.set_uniform_interference(Interference::new(0.9, 0.9));
-        let busy = sim.run(&w, &cs, &BTreeMap::new());
+        let busy = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
         assert!(
             busy.latency_percentile(s, 0.95) > calm.latency_percentile(s, 0.95),
             "interference must slow the service"
@@ -924,11 +1446,13 @@ mod tests {
         sim.set_service_time(y, ServiceTimeModel::new(8.0, 0.0, 0.0, 0.0));
         let mut w = WorkloadVector::new();
         w.set(s, RequestRate::per_minute(600.0));
-        let result = sim.run(
-            &w,
-            &containers(&[(root_ms, 2), (x, 2), (y, 2)]),
-            &BTreeMap::new(),
-        );
+        let result = sim
+            .run(
+                &w,
+                &containers(&[(root_ms, 2), (x, 2), (y, 2)]),
+                &BTreeMap::new(),
+            )
+            .unwrap();
         // E2E ≈ root 1ms + max(2, 8) + 2 network hops = ~9.2.
         let p50 = result.latency_percentile(s, 0.5);
         assert!((p50 - 9.2).abs() < 0.5, "p50 {p50}");

@@ -25,7 +25,16 @@ pub struct ServiceTimeModel {
 }
 
 impl ServiceTimeModel {
-    /// Creates a model.
+    /// Creates a model, clamping each parameter to its valid range
+    /// (`base_ms ≥ 1 µs`, the rest non-negative). NaN collapses to the
+    /// clamp floor (`f64::max` returns the non-NaN operand), but infinity
+    /// survives it, and the public fields allow writing any value
+    /// directly — [`Simulation::run`](crate::runtime::Simulation::run)
+    /// therefore re-validates every configured model and rejects
+    /// non-finite parameters with
+    /// [`Error::InvalidParameter`](erms_core::Error::InvalidParameter)
+    /// before any event is processed, rather than silently producing
+    /// non-finite latencies.
     pub fn new(base_ms: f64, cv: f64, cpu_sensitivity: f64, mem_sensitivity: f64) -> Self {
         Self {
             base_ms: base_ms.max(1e-3),

@@ -134,12 +134,8 @@ mod tests {
     fn skips_microservices_without_deployment_size() {
         let observations = vec![obs(0, 0.0, 1.0), obs(1, 0.0, 2.0)];
         let containers: BTreeMap<_, _> = [(MicroserviceId::new(0), 1u32)].into_iter().collect();
-        let out = per_minute_observations(
-            &observations,
-            &containers,
-            Interference::default(),
-            0.95,
-        );
+        let out =
+            per_minute_observations(&observations, &containers, Interference::default(), 0.95);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].microservice, MicroserviceId::new(0));
     }

@@ -225,10 +225,9 @@ pub fn generate(config: &AlibabaConfig) -> GeneratedApp {
     let mut service_specs = Vec::with_capacity(config.services);
     for s in 0..config.services {
         // Build the random tree structure first, as (ms, stages) nodes.
-        let target_nodes = ((config.avg_nodes_per_service as f64)
-            * rng.gen_range(0.5..1.5))
-        .round()
-        .max(1.0) as usize;
+        let target_nodes = ((config.avg_nodes_per_service as f64) * rng.gen_range(0.5..1.5))
+            .round()
+            .max(1.0) as usize;
         let mut g = GraphBuilder::new();
         let root = g.entry(draw_ms(&mut rng));
         let mut frontier: Vec<(NodeId, usize)> = vec![(root, 0)];
@@ -286,11 +285,7 @@ pub fn generate(config: &AlibabaConfig) -> GeneratedApp {
 /// Worst-path sum of low-interval intercepts — a lower bound on achievable
 /// end-to-end latency used to pick feasible SLAs.
 fn worst_path_intercept(builder: &AppBuilder, graph: &erms_core::graph::DependencyGraph) -> f64 {
-    fn walk(
-        builder: &AppBuilder,
-        graph: &erms_core::graph::DependencyGraph,
-        node: NodeId,
-    ) -> f64 {
+    fn walk(builder: &AppBuilder, graph: &erms_core::graph::DependencyGraph, node: NodeId) -> f64 {
         let n = graph.node(node);
         let own = builder
             .microservice_profile(n.microservice)
@@ -347,8 +342,7 @@ mod tests {
         }
         assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
         // A noticeable fraction of referenced microservices is shared.
-        let shared_frac =
-            generated.shared_count() as f64 / generated.sharing_counts.len() as f64;
+        let shared_frac = generated.shared_count() as f64 / generated.sharing_counts.len() as f64;
         assert!(shared_frac > 0.2, "shared fraction {shared_frac}");
     }
 
@@ -398,6 +392,10 @@ mod tests {
             avg_nodes_per_service: 30,
             ..AlibabaConfig::taobao(7)
         });
-        assert!(generated.shared_count() > 100, "{}", generated.shared_count());
+        assert!(
+            generated.shared_count() > 100,
+            "{}",
+            generated.shared_count()
+        );
     }
 }

@@ -114,7 +114,7 @@ where
         for i in 0..groups.len() {
             for j in (i + 1)..groups.len() {
                 let sim = jaccard(&groups[i].sig, &groups[j].sig);
-                if best.map_or(true, |(_, _, s)| sim > s) {
+                if best.is_none_or(|(_, _, s)| sim > s) {
                     best = Some((i, j, sim));
                 }
             }
@@ -131,8 +131,7 @@ where
         .into_iter()
         .filter_map(|g| {
             let members = g.traces.len();
-            let ExtractedGraph { graph, service, .. } =
-                merge_service_graphs(g.traces.into_iter())?;
+            let ExtractedGraph { graph, service, .. } = merge_service_graphs(g.traces)?;
             Some(GraphClass {
                 graph,
                 service,
@@ -223,7 +222,10 @@ mod tests {
         let c = trace(3, &[7, 8]);
         let classes = cluster_traces([a.as_slice(), b.as_slice(), c.as_slice()], 2);
         assert_eq!(classes.len(), 2);
-        let merged = classes.iter().find(|cl| cl.members == 2).expect("merged class");
+        let merged = classes
+            .iter()
+            .find(|cl| cl.members == 2)
+            .expect("merged class");
         // The merged class covers the union {1,2,3}.
         assert_eq!(merged.graph.microservices().len(), 4); // root + 3
         let singleton = classes.iter().find(|cl| cl.members == 1).unwrap();

@@ -37,7 +37,7 @@ pub struct LatencyObservation {
 /// Groups client spans into sequential stages: spans overlapping the
 /// running union interval join the current (parallel) stage, a gap starts a
 /// new stage. Spans must be sorted by start time.
-fn group_stages<'a>(mut children: Vec<&'a Span>) -> Vec<Vec<&'a Span>> {
+fn group_stages(mut children: Vec<&Span>) -> Vec<Vec<&Span>> {
     children.sort_by(|a, b| {
         a.start_ms
             .partial_cmp(&b.start_ms)
@@ -56,7 +56,7 @@ fn group_stages<'a>(mut children: Vec<&'a Span>) -> Vec<Vec<&'a Span>> {
     stages
 }
 
-fn children_of<'a>(spans: &'a [Span], parent: SpanId) -> Vec<&'a Span> {
+fn children_of(spans: &[Span], parent: SpanId) -> Vec<&Span> {
     spans
         .iter()
         .filter(|s| s.kind == SpanKind::Client && s.parent == Some(parent))
@@ -82,12 +82,7 @@ pub fn own_latencies(spans: &[Span]) -> Vec<LatencyObservation> {
         let children = children_of(spans, server.span_id);
         let downstream: f64 = group_stages(children)
             .iter()
-            .map(|stage| {
-                stage
-                    .iter()
-                    .map(|s| s.duration_ms())
-                    .fold(0.0, f64::max)
-            })
+            .map(|stage| stage.iter().map(|s| s.duration_ms()).fold(0.0, f64::max))
             .sum();
         out.push(LatencyObservation {
             microservice: server.microservice,
@@ -324,13 +319,7 @@ mod tests {
             }
         }
 
-        fn server(
-            &mut self,
-            parent: Option<SpanId>,
-            m: u32,
-            start: f64,
-            end: f64,
-        ) -> SpanId {
+        fn server(&mut self, parent: Option<SpanId>, m: u32, start: f64, end: f64) -> SpanId {
             let id = SpanId(self.next_id);
             self.next_id += 1;
             self.spans.push(Span {
@@ -382,7 +371,11 @@ mod tests {
         let obs = own_latencies(&spans);
         let t_obs = obs.iter().find(|o| o.microservice == ms(0)).unwrap();
         // T's own latency: 100 − max(30, 38) − 25 = 37.
-        assert!((t_obs.latency_ms - 37.0).abs() < 1e-9, "{}", t_obs.latency_ms);
+        assert!(
+            (t_obs.latency_ms - 37.0).abs() < 1e-9,
+            "{}",
+            t_obs.latency_ms
+        );
         // Leaves keep their full server duration.
         let url_obs = obs.iter().find(|o| o.microservice == ms(1)).unwrap();
         assert!((url_obs.latency_ms - 28.0).abs() < 1e-9);
@@ -423,8 +416,7 @@ mod tests {
         let t2 = b.server(None, 0, 0.0, 50.0);
         b.client(t2, 2, 10.0, 20.0);
         b.server(Some(t2), 2, 11.0, 19.0);
-        let merged =
-            merge_service_graphs([a.spans.as_slice(), b.spans.as_slice()]).unwrap();
+        let merged = merge_service_graphs([a.spans.as_slice(), b.spans.as_slice()]).unwrap();
         assert_eq!(merged.traces_merged, 2);
         assert_eq!(merged.graph.len(), 3);
         assert_eq!(merged.graph.microservices().len(), 3);
@@ -446,8 +438,7 @@ mod tests {
         b.server(Some(t2), 1, 6.0, 14.0);
         b.client(t2, 2, 8.0, 20.0);
         b.server(Some(t2), 2, 9.0, 19.0);
-        let merged =
-            merge_service_graphs([a.spans.as_slice(), b.spans.as_slice()]).unwrap();
+        let merged = merge_service_graphs([a.spans.as_slice(), b.spans.as_slice()]).unwrap();
         let root = merged.graph.node(merged.graph.root());
         assert_eq!(root.stages.len(), 1, "one parallel stage");
         assert_eq!(root.stages[0].len(), 2);

@@ -43,7 +43,9 @@ impl TraceStore {
             return false;
         }
         // Deterministic per-trace coin flip.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ trace.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed ^ trace.0.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         rng.gen::<f64>() < self.sampling
     }
 
@@ -68,7 +70,9 @@ impl TraceStore {
 
     /// Iterates over `(TraceId, spans)`.
     pub fn iter(&self) -> impl Iterator<Item = (TraceId, &[Span])> + '_ {
-        self.traces.iter().map(|(&id, spans)| (id, spans.as_slice()))
+        self.traces
+            .iter()
+            .map(|(&id, spans)| (id, spans.as_slice()))
     }
 
     /// The spans of one trace.

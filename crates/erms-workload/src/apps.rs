@@ -82,7 +82,13 @@ pub fn social_network(sla_ms: f64) -> BenchmarkApp {
     // reach 36 unique microservices.
     let mut backends = Vec::new();
     for (i, owner) in [
-        "user", "socialGraph", "post", "homeTimeline", "userTimeline", "media", "url",
+        "user",
+        "socialGraph",
+        "post",
+        "homeTimeline",
+        "userTimeline",
+        "media",
+        "url",
         "userMention",
     ]
     .iter()
@@ -339,8 +345,16 @@ pub fn deathstarbench(sla_ms: f64) -> Vec<BenchmarkApp> {
 /// steep U a small target — the failure mode Fig. 4 illustrates.
 pub fn fig4_app(sla_ms: f64) -> (App, [MicroserviceId; 2], ServiceId) {
     let mut b = AppBuilder::new("fig4");
-    let u = b.microservice("userTimeline", profile(4.0, 600.0, 1.2), Resources::default());
-    let p = b.microservice("postStorage", profile(0.3, 1800.0, 15.0), Resources::default());
+    let u = b.microservice(
+        "userTimeline",
+        profile(4.0, 600.0, 1.2),
+        Resources::default(),
+    );
+    let p = b.microservice(
+        "postStorage",
+        profile(0.3, 1800.0, 15.0),
+        Resources::default(),
+    );
     let svc = b.service("read-user-timeline", Sla::p95_ms(sla_ms), |g| {
         let root = g.entry(u);
         g.call_seq(root, p);
@@ -352,9 +366,21 @@ pub fn fig4_app(sla_ms: f64) -> (App, [MicroserviceId; 2], ServiceId) {
 /// with U more sensitive than H and P shared.
 pub fn fig5_app(sla_ms: f64) -> (App, [MicroserviceId; 3], [ServiceId; 2]) {
     let mut b = AppBuilder::new("fig5");
-    let u = b.microservice("userTimeline", profile(4.0, 600.0, 1.5), Resources::default());
-    let h = b.microservice("homeTimeline", profile(0.4, 1500.0, 1.2), Resources::default());
-    let p = b.microservice("postStorage", profile(1.5, 900.0, 1.5), Resources::default());
+    let u = b.microservice(
+        "userTimeline",
+        profile(4.0, 600.0, 1.5),
+        Resources::default(),
+    );
+    let h = b.microservice(
+        "homeTimeline",
+        profile(0.4, 1500.0, 1.2),
+        Resources::default(),
+    );
+    let p = b.microservice(
+        "postStorage",
+        profile(1.5, 900.0, 1.5),
+        Resources::default(),
+    );
     let s1 = b.service("svc-1", Sla::p95_ms(sla_ms), |g| {
         let root = g.entry(u);
         g.call_seq(root, p);
@@ -394,9 +420,8 @@ mod tests {
         let bench = hotel_reservation(200.0);
         assert_eq!(bench.app.microservice_count(), 15);
         assert_eq!(bench.app.service_count(), 4);
-        assert_eq!(
+        assert!(
             bench.app.shared_microservices().len() >= 3,
-            true,
             "profile, rate, reservation and user/frontend are shared"
         );
     }
@@ -408,13 +433,7 @@ mod tests {
         let itf = erms_core::latency::Interference::default();
         let nginx = app.microservice_by_name("nginx").unwrap();
         let post = app.microservice_by_name("postStorage").unwrap();
-        let slope = |ms| {
-            app.microservice(ms)
-                .unwrap()
-                .profile
-                .low
-                .slope(itf)
-        };
+        let slope = |ms| app.microservice(ms).unwrap().profile.low.slope(itf);
         assert!(slope(post) > 3.0 * slope(nginx));
     }
 

@@ -61,7 +61,11 @@ impl DynamicWorkload {
                 } else if rng.gen_bool(self.burst_prob.clamp(0.0, 1.0)) {
                     burst_left = self.burst_minutes;
                 }
-                let burst = if burst_left > 0 { self.burst_scale } else { 1.0 };
+                let burst = if burst_left > 0 {
+                    self.burst_scale
+                } else {
+                    1.0
+                };
                 RequestRate::per_minute((self.base * diurnal * noise * burst).max(0.0))
             })
             .collect()

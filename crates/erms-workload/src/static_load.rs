@@ -7,10 +7,12 @@ use erms_core::app::RequestRate;
 
 /// The static workload sweep of §6.3.1, in requests per minute.
 pub fn workload_levels() -> Vec<RequestRate> {
-    [600.0, 2_000.0, 6_000.0, 12_000.0, 25_000.0, 40_000.0, 60_000.0, 100_000.0]
-        .into_iter()
-        .map(RequestRate::per_minute)
-        .collect()
+    [
+        600.0, 2_000.0, 6_000.0, 12_000.0, 25_000.0, 40_000.0, 60_000.0, 100_000.0,
+    ]
+    .into_iter()
+    .map(RequestRate::per_minute)
+    .collect()
 }
 
 /// The SLA sweep of §6.1, in milliseconds (P95 end-to-end latency).

@@ -17,8 +17,8 @@ fn main() -> Result<()> {
     let mut cluster = ClusterState::paper_cluster();
     inject(&mut cluster, InterferenceLevel::CpuModerate, 0.5);
 
-    let manager = ErmsManager::new(app)
-        .with_placement(PlacementPolicy::InterferenceAware { groups: 4 });
+    let manager =
+        ErmsManager::new(app).with_placement(PlacementPolicy::InterferenceAware { groups: 4 });
     let series = DynamicWorkload {
         base: 15_000.0,
         amplitude: 0.5,
@@ -40,8 +40,14 @@ fn main() -> Result<()> {
         let worst = app
             .services()
             .map(|(sid, _)| {
-                service_latency(app, &outcome.plan, &actual, sid, &outcome.observed_interference)
-                    .unwrap_or(f64::INFINITY)
+                service_latency(
+                    app,
+                    &outcome.plan,
+                    &actual,
+                    sid,
+                    &outcome.observed_interference,
+                )
+                .unwrap_or(f64::INFINITY)
             })
             .fold(0.0f64, f64::max);
         if minute % 3 == 0 {

@@ -13,8 +13,8 @@
 use std::collections::BTreeMap;
 
 use erms::core::prelude::*;
-use erms::profilers::piecewise::PiecewiseFitter;
 use erms::profilers::dataset::Sample;
+use erms::profilers::piecewise::PiecewiseFitter;
 use erms::sim::runtime::{SimConfig, Simulation};
 use erms::sim::service_time::ServiceTimeModel;
 use erms::trace::aggregate::per_minute_observations;
@@ -24,8 +24,16 @@ fn main() -> Result<()> {
     // The "real" system: a front end calling a backend, whose true
     // behaviour is only visible through traces.
     let mut b = AppBuilder::new("closed-loop");
-    let front = b.microservice("front", LatencyProfile::linear(0.001, 1.0), Resources::default());
-    let back = b.microservice("back", LatencyProfile::linear(0.001, 1.0), Resources::default());
+    let front = b.microservice(
+        "front",
+        LatencyProfile::linear(0.001, 1.0),
+        Resources::default(),
+    );
+    let back = b.microservice(
+        "back",
+        LatencyProfile::linear(0.001, 1.0),
+        Resources::default(),
+    );
     let svc = b.service("api", Sla::p95_ms(60.0), |g| {
         let root = g.entry(front);
         g.call_seq(root, back);
@@ -56,7 +64,7 @@ fn main() -> Result<()> {
         sim.set_uniform_interference(itf);
         let mut w = WorkloadVector::new();
         w.set(svc, RequestRate::per_minute(rate));
-        let result = sim.run(&w, &containers, &BTreeMap::new());
+        let result = sim.run(&w, &containers, &BTreeMap::new())?;
 
         // --- 2. Tracing Coordinator: graphs + latencies from spans. ---
         let traces: Vec<&[erms::trace::span::Span]> =
@@ -75,12 +83,15 @@ fn main() -> Result<()> {
             observations.extend(own_latencies(spans));
         }
         for obs in per_minute_observations(&observations, &containers, itf, 0.95) {
-            samples_per_ms.entry(obs.microservice).or_default().push(Sample::new(
-                obs.p95_ms,
-                obs.calls_per_container,
-                obs.cpu,
-                obs.mem,
-            ));
+            samples_per_ms
+                .entry(obs.microservice)
+                .or_default()
+                .push(Sample::new(
+                    obs.p95_ms,
+                    obs.calls_per_container,
+                    obs.cpu,
+                    obs.mem,
+                ));
         }
     }
 
@@ -136,7 +147,7 @@ fn main() -> Result<()> {
     .collect();
     let mut wv = WorkloadVector::new();
     wv.set(svc, RequestRate::per_minute(60_000.0));
-    let result = sim.run(&wv, &validation, &BTreeMap::new());
+    let result = sim.run(&wv, &validation, &BTreeMap::new())?;
     let p95 = result.latency_percentile(svc, 0.95);
     println!("validated in the simulator: P95 = {p95:.1} ms (SLA 60 ms)");
     Ok(())

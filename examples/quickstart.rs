@@ -55,9 +55,7 @@ fn main() -> Result<()> {
 
     // 4. Check the plan against the latency model.
     let predicted = service_latency(&app, &plan, &workloads, read_api, &interference)?;
-    println!(
-        "predicted P95 end-to-end latency: {predicted:.1} ms (SLA: 100 ms)"
-    );
+    println!("predicted P95 end-to-end latency: {predicted:.1} ms (SLA: 100 ms)");
     assert!(plan_meets_slas(&app, &plan, &workloads, &interference)?);
     println!("SLA satisfied.");
     Ok(())

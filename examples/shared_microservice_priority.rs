@@ -63,19 +63,21 @@ fn main() -> Result<()> {
         },
     );
     for (ms, m) in app.microservices() {
-        let (model, threads) =
-            erms::sim::service_time::derive_from_profile(&m.profile, itf, 0.75);
+        let (model, threads) = erms::sim::service_time::derive_from_profile(&m.profile, itf, 0.75);
         sim.set_service_time(ms, model);
         sim.set_threads(ms, threads);
         let _ = &m.name;
     }
     sim.set_uniform_interference(itf);
-    let containers: BTreeMap<_, _> = app.microservices().map(|(ms, _)| (ms, plan.containers(ms))).collect();
+    let containers: BTreeMap<_, _> = app
+        .microservices()
+        .map(|(ms, _)| (ms, plan.containers(ms)))
+        .collect();
     let mut priorities = BTreeMap::new();
     if let Some(order) = plan.priority_order(p) {
         priorities.insert(p, order.to_vec());
     }
-    let result = sim.run(&w, &containers, &priorities);
+    let result = sim.run(&w, &containers, &priorities)?;
     println!("\nsimulated end-to-end P95:");
     for (sid, svc) in app.services() {
         println!(

@@ -21,7 +21,10 @@ fn main() -> Result<()> {
         bench
             .shared
             .iter()
-            .map(|&ms| app.microservice(ms).map(|m| m.name.clone()).unwrap_or_default())
+            .map(|&ms| app
+                .microservice(ms)
+                .map(|m| m.name.clone())
+                .unwrap_or_default())
             .collect::<Vec<_>>()
     );
 

@@ -27,14 +27,20 @@ fn main() -> Result<()> {
         generated.shared_count()
     );
     for (threshold, frac) in generated.sharing_cdf(&[1, 10, 50, 100]) {
-        println!("  shared by <= {threshold:>3} services: {:.0}%", frac * 100.0);
+        println!(
+            "  shared by <= {threshold:>3} services: {:.0}%",
+            frac * 100.0
+        );
     }
 
     // Random per-service workloads.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let mut w = WorkloadVector::new();
     for (sid, _) in app.services() {
-        w.set(sid, RequestRate::per_minute(rng.gen_range(1_000.0..10_000.0)));
+        w.set(
+            sid,
+            RequestRate::per_minute(rng.gen_range(1_000.0..10_000.0)),
+        );
     }
 
     let started = Instant::now();

@@ -127,7 +127,7 @@ fn cmd_plan(args: &Args) -> Result<()> {
         .microservices()
         .map(|(ms, m)| (m.name.clone(), plan.containers(ms)))
         .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     for (name, n) in rows.iter().take(12) {
         println!("  {name:<24} {n:>5}");
     }
@@ -253,7 +253,7 @@ fn cmd_simulate(args: &Args) -> Result<()> {
             priorities.insert(ms, order.to_vec());
         }
     }
-    let result = sim.run(&w, &containers, &priorities);
+    let result = sim.run(&w, &containers, &priorities)?;
     for (sid, svc) in app.services() {
         println!(
             "  {:<8} P95 = {:>7.1} ms  (SLA {sla} ms, violations {:.1}%)",

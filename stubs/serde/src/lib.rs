@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream consumers but never serialises anything itself (no
+//! `serde_json`/`bincode` dependency exists). Because the build environment
+//! is fully offline, this stub provides the two marker traits and — behind
+//! the `derive` feature — no-op derive macros that accept (and ignore)
+//! `#[serde(...)]` attributes. Swapping the real `serde` back in requires
+//! only restoring the registry dependency; no source changes.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` stub.
+//!
+//! Each derive expands to nothing: the workspace only *annotates* its types
+//! for downstream users and never serialises, so empty expansions keep every
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attribute
+//! compiling without pulling in the real proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

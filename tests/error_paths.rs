@@ -1,0 +1,132 @@
+//! Error-path coverage: infeasible SLAs report an actionable latency
+//! floor, capacity exhaustion surfaces as a typed error, and failed
+//! provisioning never leaves the cluster half-mutated.
+
+use erms::core::prelude::*;
+use erms::core::provisioning::provision;
+
+/// U (intercept 3 ms) fans out to P (2 ms) and Q (10 ms) in parallel; the
+/// worst path is U→Q with an intercept sum of 13 ms.
+fn fanout_app(sla_ms: f64) -> (App, ServiceId) {
+    let mut b = AppBuilder::new("fanout");
+    let u = b.microservice(
+        "U",
+        LatencyProfile::linear(0.05, 3.0),
+        Resources::new(0.1, 200.0),
+    );
+    let p = b.microservice(
+        "P",
+        LatencyProfile::linear(0.05, 2.0),
+        Resources::new(0.1, 200.0),
+    );
+    let q = b.microservice(
+        "Q",
+        LatencyProfile::linear(0.05, 10.0),
+        Resources::new(0.1, 200.0),
+    );
+    let s = b.service("svc", Sla::p95_ms(sla_ms), |g| {
+        let root = g.entry(u);
+        g.call_par(root, &[p, q]);
+    });
+    (b.build().unwrap(), s)
+}
+
+#[test]
+fn sla_infeasible_reports_the_worst_path_floor() {
+    let (app, s) = fanout_app(5.0);
+    let mut w = WorkloadVector::new();
+    w.set(s, RequestRate::per_minute(10_000.0));
+    let err = ErmsScaler::new(&app)
+        .plan(&w, Interference::default())
+        .unwrap_err();
+    match err {
+        Error::SlaInfeasible {
+            service,
+            sla_ms,
+            floor_ms,
+        } => {
+            assert_eq!(service, s);
+            assert_eq!(sla_ms, 5.0);
+            assert!(
+                (floor_ms - 13.0).abs() < 1e-9,
+                "floor must be the worst-path intercept sum (3 + 10), got {floor_ms}"
+            );
+        }
+        other => panic!("expected SlaInfeasible, got {other}"),
+    }
+    // The floor is exactly the boundary of feasibility: an SLA above it
+    // plans fine.
+    let (app, s) = fanout_app(14.0);
+    let mut w = WorkloadVector::new();
+    w.set(s, RequestRate::per_minute(10_000.0));
+    assert!(ErmsScaler::new(&app)
+        .plan(&w, Interference::default())
+        .is_ok());
+}
+
+#[test]
+fn insufficient_capacity_is_typed_and_leaves_state_intact() {
+    // One 2-core host cannot hold a 10-container × 1-core plan; the
+    // up-front CPU check reports both sides of the imbalance.
+    let mut b = AppBuilder::new("tiny");
+    let m = b.microservice(
+        "M",
+        LatencyProfile::linear(0.01, 1.0),
+        Resources::new(1.0, 128.0),
+    );
+    b.service("svc", Sla::p95_ms(100.0), |g| {
+        g.entry(m);
+    });
+    let app = b.build().unwrap();
+    let mut state = ClusterState::new(vec![Host::new(2.0, 4096.0)]);
+    let mut plan = ScalingPlan::new("manual");
+    plan.set_containers(m, 10);
+    let snapshot = state.clone();
+    let err = provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap_err();
+    match err {
+        Error::InsufficientCapacity {
+            requested_cpu,
+            available_cpu,
+        } => {
+            assert!((requested_cpu - 10.0).abs() < 1e-9);
+            assert!((available_cpu - 2.0).abs() < 1e-9);
+        }
+        other => panic!("expected InsufficientCapacity, got {other}"),
+    }
+    assert_eq!(state, snapshot, "failed provisioning must not touch state");
+}
+
+#[test]
+fn placement_failure_mid_plan_rolls_back_partial_placements() {
+    // The CPU pre-check passes (3 cores requested, 200 available) but the
+    // per-host *memory* walls stop the third container: each host fits
+    // exactly one 800 MB container. The transactional wrapper must roll
+    // back the two already-placed containers.
+    let mut b = AppBuilder::new("memwall");
+    let m = b.microservice(
+        "M",
+        LatencyProfile::linear(0.01, 1.0),
+        Resources::new(1.0, 800.0),
+    );
+    b.service("svc", Sla::p95_ms(100.0), |g| {
+        g.entry(m);
+    });
+    let app = b.build().unwrap();
+    let mut state = ClusterState::new(vec![Host::new(100.0, 1000.0), Host::new(100.0, 1000.0)]);
+    let mut plan = ScalingPlan::new("manual");
+    plan.set_containers(m, 3);
+    let snapshot = state.clone();
+    let err = provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap_err();
+    assert!(matches!(err, Error::InsufficientCapacity { .. }));
+    assert_eq!(
+        state, snapshot,
+        "partial placements must be rolled back, not committed"
+    );
+    assert_eq!(state.containers_of(m), 0);
+
+    // The same cluster takes the feasible prefix of the plan just fine.
+    plan.set_containers(m, 2);
+    let report = provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+    assert_eq!(report.placed, 2);
+    assert_eq!(state.containers_of(m), 2);
+}

@@ -1,0 +1,294 @@
+//! End-to-end fault tolerance: the self-healing controller loop driven
+//! through scripted and randomized cluster-fault schedules.
+//!
+//! The scenarios mirror §6 of the paper under hostile conditions: container
+//! crashes and host failures between controller rounds, plus bad profile
+//! refits (an app whose SLA sits below the latency floor) that break the
+//! planning pass itself. The loop must never panic, must keep the cluster
+//! consistent with whatever plan it applied, must surface every degraded
+//! round in its audit trail, and must restore SLA compliance within K
+//! rounds of the faults clearing.
+
+use erms::core::prelude::*;
+use erms::core::resilience::{ResilienceConfig, ResilientManager};
+use erms::sim::faults::{ClusterFault, ClusterFaultPlan};
+use proptest::prelude::*;
+
+/// Rounds allowed for recovery after the last fault (acceptance K).
+const K: u64 = 3;
+
+fn two_service_app(sla_tight_ms: f64, sla_loose_ms: f64) -> App {
+    let mut b = AppBuilder::new("ft");
+    let u = b.microservice(
+        "U",
+        LatencyProfile::linear(0.08, 3.0),
+        Resources::new(0.5, 512.0),
+    );
+    let h = b.microservice(
+        "H",
+        LatencyProfile::linear(0.02, 3.0),
+        Resources::new(0.5, 512.0),
+    );
+    let p = b.microservice(
+        "P",
+        LatencyProfile::linear(0.03, 2.0),
+        Resources::new(0.5, 512.0),
+    );
+    b.service("tight", Sla::p95_ms(sla_tight_ms), |g| {
+        let root = g.entry(u);
+        g.call_seq(root, p);
+    });
+    b.service("loose", Sla::p95_ms(sla_loose_ms), |g| {
+        let root = g.entry(h);
+        g.call_seq(root, p);
+    });
+    b.build().unwrap()
+}
+
+/// Asserts the cluster exactly reflects the applied plan and respects every
+/// host's capacity walls.
+fn assert_consistent(app: &App, state: &ClusterState, plan: &ScalingPlan, round: u64) {
+    for (ms, target) in plan.iter() {
+        assert_eq!(
+            state.containers_of(ms),
+            target,
+            "round {round}: cluster count of {ms} diverges from the applied plan"
+        );
+    }
+    for (i, host) in state.hosts().iter().enumerate() {
+        let (cpu, mem) = host.utilization(app);
+        assert!(
+            cpu <= 1.0 + 1e-9 && mem <= 1.0 + 1e-9,
+            "round {round}: host {i} over capacity (cpu {cpu}, mem {mem})"
+        );
+    }
+}
+
+#[test]
+fn controller_self_heals_through_crashes_and_bad_refits() {
+    let good = two_service_app(300.0, 300.0);
+    // The same topology after a corrupted profile refit: the tight SLA now
+    // sits below the 5 ms intercept floor, so planning fails outright.
+    let bad = two_service_app(1.0, 300.0);
+    let p = good.microservice_by_name("P").unwrap();
+    let u = good.microservice_by_name("U").unwrap();
+
+    let faults = ClusterFaultPlan::new()
+        .at_round(3, ClusterFault::CrashContainers { ms: p, count: 2 })
+        .at_round(4, ClusterFault::FailHost { index: 0 })
+        .at_round(5, ClusterFault::CrashContainers { ms: u, count: 1 })
+        .at_round(
+            6,
+            ClusterFault::AddHost {
+                cpu: 88.0,
+                mem: 256.0 * 1024.0,
+            },
+        );
+    // Planning is broken (bad refit) during rounds 4 and 5.
+    let bad_refit_rounds = 4..=5u64;
+    let last_fault = faults.last_fault_round().unwrap();
+
+    let mut state = ClusterState::paper_cluster();
+    let mut mgr = ResilientManager::new(ResilienceConfig::default());
+    let w = WorkloadVector::uniform(&good, RequestRate::per_minute(20_000.0));
+
+    let total_rounds = last_fault + K + 3;
+    let mut degraded_rounds = Vec::new();
+    for round in 1..=total_rounds {
+        faults.apply(round, &mut state, &good);
+        let app = if bad_refit_rounds.contains(&round) {
+            &bad
+        } else {
+            &good
+        };
+        let outcome = mgr.run_round(app, &mut state, &w);
+        if let Some(plan) = &outcome.plan {
+            assert_consistent(&good, &state, plan, round);
+        }
+        if outcome.report.degraded() {
+            degraded_rounds.push(round);
+        }
+        // Once the faults have cleared for K rounds the loop must be back
+        // to full, undegraded SLA compliance.
+        if round >= last_fault + K {
+            assert!(
+                outcome.applied(),
+                "round {round}: recovered loop must apply a plan"
+            );
+            assert!(
+                !outcome.report.degraded(),
+                "round {round}: recovered loop must not be degraded: {:?}",
+                outcome.report
+            );
+            let plan = outcome.plan.as_ref().unwrap();
+            assert!(
+                plan_meets_slas(&good, plan, &w, &outcome.observed_interference).unwrap(),
+                "round {round}: SLA compliance not restored within K = {K} rounds"
+            );
+        }
+    }
+
+    // The bad-refit rounds ran on the stale last-known-good plan and must
+    // be visible in the audit trail.
+    assert!(
+        degraded_rounds.iter().any(|r| bad_refit_rounds.contains(r)),
+        "stale-plan rounds must show up as degraded: {degraded_rounds:?}"
+    );
+    assert_eq!(mgr.history().len(), total_rounds as usize);
+    for round in &degraded_rounds {
+        assert!(mgr.history()[(*round - 1) as usize].degraded());
+    }
+}
+
+#[test]
+fn capacity_crunch_sheds_demand_and_recovers_when_host_returns() {
+    let app = two_service_app(300.0, 600.0);
+    // Three small hosts run the full plan (~33 half-core containers,
+    // 16.5 cores) near capacity; losing one leaves 14 cores and forces the
+    // degradation ladder (relaxed placement, then shedding).
+    let host = || Host::new(7.0, 12_288.0);
+    let mut state = ClusterState::new(vec![host(), host(), host()]);
+    let faults = ClusterFaultPlan::new()
+        .at_round(2, ClusterFault::FailHost { index: 0 })
+        .at_round(
+            4,
+            ClusterFault::AddHost {
+                cpu: 7.0,
+                mem: 12_288.0,
+            },
+        );
+    let last_fault = faults.last_fault_round().unwrap();
+    let mut mgr = ResilientManager::new(ResilienceConfig {
+        max_shed_attempts: 6,
+        shed_step: 0.5,
+        ..ResilienceConfig::default()
+    });
+    let w = WorkloadVector::uniform(&app, RequestRate::per_minute(40_000.0));
+
+    let mut saw_degraded = false;
+    for round in 1..=last_fault + K {
+        faults.apply(round, &mut state, &app);
+        let outcome = mgr.run_round(&app, &mut state, &w);
+        if let Some(plan) = &outcome.plan {
+            assert_consistent(&app, &state, plan, round);
+        }
+        saw_degraded |= outcome.report.degraded();
+        if round >= last_fault + K {
+            assert!(outcome.applied());
+            let plan = outcome.plan.as_ref().unwrap();
+            assert!(
+                plan_meets_slas(&app, plan, &w, &outcome.observed_interference).unwrap(),
+                "round {round}: full-demand compliance after the host returned"
+            );
+        }
+    }
+    assert!(
+        saw_degraded,
+        "the capacity crunch must register as degraded"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any seeded cluster-fault schedule, the loop never over-commits
+    /// a host and the cluster always matches the applied plan — capacity
+    /// safety is unconditional, not a property of friendly fault timing.
+    #[test]
+    fn never_exceeds_capacity_under_random_faults(
+        seed in any::<u16>(),
+        fault_probability in 0.0f64..=1.0,
+        rate in 5_000.0f64..40_000.0,
+    ) {
+        let app = two_service_app(300.0, 600.0);
+        let faults = ClusterFaultPlan::random(seed as u64, &app, 10, fault_probability);
+        let mut state = ClusterState::paper_cluster();
+        let mut mgr = ResilientManager::new(ResilienceConfig::default());
+        let w = WorkloadVector::uniform(&app, RequestRate::per_minute(rate));
+        for round in 1..=10u64 {
+            faults.apply(round, &mut state, &app);
+            let outcome = mgr.run_round(&app, &mut state, &w);
+            for (i, host) in state.hosts().iter().enumerate() {
+                let (cpu, mem) = host.utilization(&app);
+                prop_assert!(
+                    cpu <= 1.0 + 1e-9 && mem <= 1.0 + 1e-9,
+                    "seed {seed} round {round}: host {i} over capacity"
+                );
+            }
+            if let Some(plan) = &outcome.plan {
+                for (ms, target) in plan.iter() {
+                    prop_assert!(
+                        state.containers_of(ms) == target,
+                        "seed {seed} round {round}: plan/cluster divergence at {ms}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hysteresis safety: consecutive applied rounds never rescale the same
+    /// microservice in opposite directions with sub-threshold deltas — the
+    /// flapping pattern the filter exists to kill. Every applied change is
+    /// either the first touch, at-or-above the minimum delta, or an
+    /// explicit scale-to-zero.
+    #[test]
+    fn no_subthreshold_direction_flips_in_consecutive_rounds(
+        seed in any::<u16>(),
+        base_rate in 5_000.0f64..30_000.0,
+        wobble in 0.0f64..0.5,
+    ) {
+        let app = two_service_app(300.0, 600.0);
+        let cfg = ResilienceConfig::default();
+        let min_delta = cfg.min_delta;
+        let frac = cfg.min_delta_fraction;
+        let mut state = ClusterState::paper_cluster();
+        let mut mgr = ResilientManager::new(cfg);
+        // Workload wobbles deterministically around the base rate: the
+        // noise pattern hysteresis is meant to absorb.
+        let mut applied: Vec<ScalingPlan> = Vec::new();
+        for round in 0..8u64 {
+            let phase = ((seed as u64).wrapping_add(round) % 7) as f64;
+            let factor = 1.0 + wobble * (phase - 3.0) / 3.0;
+            let w = WorkloadVector::uniform(
+                &app,
+                RequestRate::per_minute(base_rate * factor),
+            );
+            let outcome = mgr.run_round(&app, &mut state, &w);
+            if let Some(plan) = outcome.plan {
+                applied.push(plan);
+            }
+        }
+        for pair in applied.windows(2) {
+            for (ms, next) in pair[1].iter() {
+                let Some(prev) = pair[0].get(ms) else { continue };
+                if next == prev || next == 0 {
+                    continue;
+                }
+                let threshold = min_delta.max((prev as f64 * frac).ceil() as u32);
+                prop_assert!(
+                    next.abs_diff(prev) >= threshold,
+                    "sub-threshold rescaling applied at {ms}: {prev} -> {next}"
+                );
+            }
+        }
+        for triple in applied.windows(3) {
+            for (ms, c2) in triple[2].iter() {
+                let (Some(c0), Some(c1)) = (triple[0].get(ms), triple[1].get(ms)) else {
+                    continue;
+                };
+                if c1 == 0 || c2 == 0 {
+                    continue; // explicit scale-to-zero bypasses the filter
+                }
+                let up_then_down = c1 > c0 && c2 < c1;
+                let down_then_up = c1 < c0 && c2 > c1;
+                if up_then_down || down_then_up {
+                    let threshold = min_delta.max((c1 as f64 * frac).ceil() as u32);
+                    prop_assert!(
+                        c2.abs_diff(c1) >= threshold,
+                        "sub-threshold direction flip at {ms}: {c0} -> {c1} -> {c2}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -61,7 +61,7 @@ fn erms_plan_holds_in_the_simulator() {
     let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible");
     let sim = simulation(&app, itf, 7);
     let (containers, priorities) = plan_inputs(&app, &plan);
-    let result = sim.run(&w, &containers, &priorities);
+    let result = sim.run(&w, &containers, &priorities).unwrap();
     assert!(result.completed > 10_000, "enough load simulated");
     for (sid, svc) in app.services() {
         let p95 = result.latency_percentile(sid, 0.95);
@@ -85,12 +85,9 @@ fn halving_the_plan_degrades_simulated_latency() {
     let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible");
     let sim = simulation(&app, itf, 9);
     let (full, priorities) = plan_inputs(&app, &plan);
-    let halved: BTreeMap<_, _> = full
-        .iter()
-        .map(|(&ms, &n)| (ms, (n / 3).max(1)))
-        .collect();
-    let good = sim.run(&w, &full, &priorities);
-    let bad = sim.run(&w, &halved, &priorities);
+    let halved: BTreeMap<_, _> = full.iter().map(|(&ms, &n)| (ms, (n / 3).max(1))).collect();
+    let good = sim.run(&w, &full, &priorities).unwrap();
+    let bad = sim.run(&w, &halved, &priorities).unwrap();
     let worst = |r: &erms::sim::SimResult| {
         app.services()
             .map(|(sid, _)| r.latency_percentile(sid, 0.95))

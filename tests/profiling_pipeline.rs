@@ -15,8 +15,16 @@ use erms::trace::extract::{extract_trace_graph, merge_service_graphs, own_latenc
 
 fn two_tier_app() -> (App, [MicroserviceId; 2], ServiceId) {
     let mut b = AppBuilder::new("pipeline");
-    let front = b.microservice("front", LatencyProfile::linear(0.001, 1.0), Resources::default());
-    let back = b.microservice("back", LatencyProfile::linear(0.001, 1.0), Resources::default());
+    let front = b.microservice(
+        "front",
+        LatencyProfile::linear(0.001, 1.0),
+        Resources::default(),
+    );
+    let back = b.microservice(
+        "back",
+        LatencyProfile::linear(0.001, 1.0),
+        Resources::default(),
+    );
     let svc = b.service("api", Sla::p95_ms(100.0), |g| {
         let root = g.entry(front);
         g.call_seq(root, back);
@@ -48,7 +56,7 @@ fn run_sim(
     sim.set_uniform_interference(Interference::new(0.3, 0.3));
     let mut w = WorkloadVector::new();
     w.set(svc, RequestRate::per_minute(rate));
-    sim.run(&w, containers, &BTreeMap::new())
+    sim.run(&w, containers, &BTreeMap::new()).unwrap()
 }
 
 #[test]
@@ -61,7 +69,10 @@ fn traces_reconstruct_the_dependency_graph() {
     let (_, spans) = result.trace_store.iter().next().unwrap();
     let extracted = extract_trace_graph(spans).expect("root span exists");
     assert_eq!(extracted.graph.len(), 2);
-    assert_eq!(extracted.graph.node(extracted.graph.root()).microservice, front);
+    assert_eq!(
+        extracted.graph.node(extracted.graph.root()).microservice,
+        front
+    );
     // Multi-trace union matches too.
     let traces: Vec<&[erms::trace::span::Span]> =
         result.trace_store.iter().map(|(_, s)| s).collect();
@@ -109,7 +120,12 @@ fn profiling_recovers_the_latency_curve() {
             if o.microservice == back && o.samples >= 30 {
                 // Scale the sampled per-container rate back up by the
                 // sampling factor.
-                samples.push(Sample::new(o.p95_ms, o.calls_per_container / 0.2, o.cpu, o.mem));
+                samples.push(Sample::new(
+                    o.p95_ms,
+                    o.calls_per_container / 0.2,
+                    o.cpu,
+                    o.mem,
+                ));
             }
         }
         let back_lat: Vec<f64> = result.ms_own_latencies[&back]
@@ -119,11 +135,19 @@ fn profiling_recovers_the_latency_curve() {
         truth_points.push((rate, erms::sim::stats::percentile(&back_lat, 0.95)));
         let _ = front;
     }
-    let profile = PiecewiseFitter::default().fit(&samples).expect("enough samples");
+    let profile = PiecewiseFitter::default()
+        .fit(&samples)
+        .expect("enough samples");
     let truths: Vec<f64> = truth_points.iter().map(|(_, t)| *t).collect();
-    let fits: Vec<f64> = truth_points.iter().map(|(r, _)| profile.eval(*r, itf)).collect();
+    let fits: Vec<f64> = truth_points
+        .iter()
+        .map(|(r, _)| profile.eval(*r, itf))
+        .collect();
     let acc = accuracy(&truths, &fits);
-    assert!(acc > 0.6, "profiling accuracy {acc}: truths {truths:?} fits {fits:?}");
+    assert!(
+        acc > 0.6,
+        "profiling accuracy {acc}: truths {truths:?} fits {fits:?}"
+    );
 }
 
 #[test]

@@ -39,11 +39,7 @@ fn graph_strategy(max_nodes: usize) -> impl Strategy<Value = (DependencyGraph, u
 }
 
 fn params_strategy(n: usize) -> impl Strategy<Value = Vec<VirtualParams>> {
-    prop::collection::vec(
-        (0.001f64..0.5, 0.1f64..5.0, 0.01f64..0.5),
-        n..=n,
-    )
-    .prop_map(|v| {
+    prop::collection::vec((0.001f64..0.5, 0.1f64..5.0, 0.01f64..0.5), n..=n).prop_map(|v| {
         v.into_iter()
             .map(|(a, b, r)| VirtualParams::new(a, b, r))
             .collect()

@@ -19,8 +19,7 @@ fn manager_rounds_converge_and_balance() {
     // Second round with the same workload should be a near no-op.
     let second = manager.run_round(&mut state, &w).expect("round 2");
     assert!(
-        second.provision.placed + second.provision.released
-            <= first.provision.placed / 5 + 2,
+        second.provision.placed + second.provision.released <= first.provision.placed / 5 + 2,
         "steady state should not churn: {:?}",
         second.provision
     );

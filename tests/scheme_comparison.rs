@@ -124,8 +124,7 @@ fn firm_state_persists_across_rounds() {
     // The second round continues from the first round's allocation rather
     // than replanning from scratch: totals move by at most the action
     // budget's worth of changes.
-    let diff: i64 =
-        second.total_containers() as i64 - first.total_containers() as i64;
+    let diff: i64 = second.total_containers() as i64 - first.total_containers() as i64;
     assert!(diff.abs() < first.total_containers() as i64 / 2 + 10);
     firm.reset();
     let fresh = firm.plan(&ctx(app, &w, itf, &config)).unwrap();
