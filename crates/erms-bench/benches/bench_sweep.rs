@@ -1,0 +1,230 @@
+//! Perf baseline harness: times the Fig. 11/12 sweep grid serial vs
+//! parallel+cached, times the DES event loop, and emits `BENCH_sweep.json`
+//! so every future PR can be judged against recorded numbers.
+//!
+//! Usage (as a `harness = false` bench target):
+//!
+//! ```text
+//! cargo bench -p erms-bench --bench bench_sweep            # full grid
+//! cargo bench -p erms-bench --bench bench_sweep -- --quick # CI smoke
+//! cargo bench -p erms-bench --bench bench_sweep -- --out /tmp/b.json
+//! ```
+//!
+//! The serial reference is `static_sweep_serial` — the pre-parallelism
+//! implementation kept verbatim — so the reported speedup is honestly
+//! "vs the code this engine replaced". Records are asserted bit-identical
+//! between the two paths before any number is written.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use erms_bench::sweep::{static_sweep_on, static_sweep_serial, AppCatalog, SchemeSet, SweepRecord};
+use erms_core::cache::PlanCache;
+use erms_core::latency::Interference;
+use erms_core::manager::ErmsScaler;
+use erms_core::prelude::{RequestRate, WorkloadVector};
+use erms_sim::runtime::{SimConfig, Simulation};
+use erms_sim::service_time::derive_from_profile;
+use erms_workload::apps::fig5_app;
+use erms_workload::static_load::{sla_levels, workload_levels};
+
+fn records_bit_identical(a: &[SweepRecord], b: &[SweepRecord]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.app == y.app
+                && x.workload.to_bits() == y.workload.to_bits()
+                && x.sla_ms.to_bits() == y.sla_ms.to_bits()
+                && x.scheme == y.scheme
+                && x.containers == y.containers
+                && x.violation.to_bits() == y.violation.to_bits()
+                && x.latency_ratio.to_bits() == y.latency_ratio.to_bits()
+        })
+}
+
+/// Minimum wall-clock over `reps` *interleaved* runs of `a` then `b`, in
+/// milliseconds, plus each one's last output. Interleaving keeps slow
+/// phases of a shared/throttled host from landing entirely on one side of
+/// the comparison.
+fn time_min_pair<TA, TB>(
+    reps: usize,
+    mut a: impl FnMut() -> TA,
+    mut b: impl FnMut() -> TB,
+) -> ((f64, TA), (f64, TB)) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut out_a = None;
+    let mut out_b = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let value = a();
+        best_a = best_a.min(start.elapsed().as_secs_f64() * 1e3);
+        out_a = Some(value);
+        let start = Instant::now();
+        let value = b();
+        best_b = best_b.min(start.elapsed().as_secs_f64() * 1e3);
+        out_b = Some(value);
+    }
+    (
+        (best_a, out_a.expect("at least one rep")),
+        (best_b, out_b.expect("at least one rep")),
+    )
+}
+
+/// DES throughput probe: the Fig. 5 app under a planned allocation, long
+/// enough that the event loop dominates setup. Reports the fastest of
+/// `reps` runs (the run itself is deterministic; only the wall clock
+/// varies).
+fn sim_events_per_sec(duration_ms: f64, reps: usize) -> (u64, f64, f64) {
+    let (app, _, [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.3, 0.3);
+    let mut w = WorkloadVector::new();
+    w.set(s1, RequestRate::per_minute(30_000.0));
+    w.set(s2, RequestRate::per_minute(30_000.0));
+    let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible plan");
+
+    let mut sim = Simulation::new(
+        &app,
+        SimConfig {
+            duration_ms,
+            warmup_ms: 0.0,
+            seed: 7,
+            trace_sampling: 0.0,
+            ..SimConfig::default()
+        },
+    );
+    for (ms, m) in app.microservices() {
+        let (model, threads) = derive_from_profile(&m.profile, itf, 0.75);
+        sim.set_service_time(ms, model);
+        sim.set_threads(ms, threads);
+    }
+    sim.set_uniform_interference(itf);
+
+    let containers: BTreeMap<_, _> = app
+        .microservices()
+        .map(|(ms, _)| (ms, plan.containers(ms)))
+        .collect();
+    let mut priorities = BTreeMap::new();
+    for ms in app.shared_microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            priorities.insert(ms, order.to_vec());
+        }
+    }
+
+    let mut wall_ms = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let result = sim.run(&w, &containers, &priorities).expect("sim runs");
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        events = result.events;
+    }
+    let events_per_sec = events as f64 / (wall_ms / 1e3).max(1e-9);
+    (events, wall_ms, events_per_sec)
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let (workloads, slas, sweep_reps, sim_ms) = if quick {
+        (
+            vec![600.0, 6_000.0, 25_000.0],
+            vec![100.0, 200.0],
+            2,
+            5_000.0,
+        )
+    } else {
+        let rates: Vec<f64> = workload_levels()
+            .into_iter()
+            .map(|r| r.as_per_minute())
+            .collect();
+        (rates, sla_levels(), 11, 60_000.0)
+    };
+    let itf = Interference::new(0.45, 0.40);
+    let set = SchemeSet::Full;
+    let catalog = AppCatalog::new(&slas);
+    let cells = slas.len() * 3 * workloads.len() * set.len();
+    let threads = rayon::current_num_threads();
+
+    println!(
+        "bench_sweep: {} cells ({} SLAs x 3 apps x {} rates x {} schemes), {} thread(s){}",
+        cells,
+        slas.len(),
+        workloads.len(),
+        set.len(),
+        threads,
+        if quick { ", quick mode" } else { "" }
+    );
+
+    // Serial reference is the pre-parallelism implementation, untouched.
+    // The parallel engine gets a fresh cache per rep so each rep pays its
+    // own cold misses; counters are read from the last rep.
+    let mut last_cache = Arc::new(PlanCache::new());
+    let ((serial_ms, serial_records), (parallel_ms, parallel_records)) = time_min_pair(
+        sweep_reps,
+        || static_sweep_serial(&workloads, &slas, itf, set),
+        || {
+            let cache = Arc::new(PlanCache::new());
+            let records = static_sweep_on(&catalog, &workloads, itf, set, &cache);
+            last_cache = cache;
+            records
+        },
+    );
+
+    assert!(
+        records_bit_identical(&serial_records, &parallel_records),
+        "parallel sweep diverged from the serial reference"
+    );
+    println!(
+        "records: {} (parallel output bit-identical to serial)",
+        serial_records.len()
+    );
+
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let cache_hits = last_cache.hits();
+    let cache_misses = last_cache.misses();
+    println!(
+        "sweep: serial {serial_ms:.2} ms, parallel {parallel_ms:.2} ms, speedup {speedup:.2}x"
+    );
+    println!(
+        "plan cache: {cache_hits} hits / {cache_misses} misses (hit rate {:.1}%)",
+        last_cache.hit_rate() * 100.0
+    );
+
+    let (sim_events, sim_wall_ms, events_per_sec) = sim_events_per_sec(sim_ms, sweep_reps);
+    println!(
+        "simulator: {sim_events} events in {sim_wall_ms:.1} ms ({:.0} events/sec)",
+        events_per_sec
+    );
+
+    let json = format!(
+        "{{\n  \"grid\": {{\n    \"slas_ms\": {slas:?},\n    \"workloads_per_min\": {workloads:?},\n    \"apps\": 3,\n    \"schemes\": {schemes},\n    \"cells\": {cells},\n    \"records\": {records}\n  }},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"sweep\": {{\n    \"serial_ms\": {serial_ms},\n    \"parallel_ms\": {parallel_ms},\n    \"speedup\": {speedup},\n    \"serial_cells_per_sec\": {scps},\n    \"parallel_cells_per_sec\": {pcps},\n    \"bit_identical\": true\n  }},\n  \"plan_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \"hit_rate\": {hit_rate}\n  }},\n  \"simulator\": {{\n    \"duration_ms\": {sim_ms},\n    \"events\": {sim_events},\n    \"wall_ms\": {wall},\n    \"events_per_sec\": {eps}\n  }}\n}}\n",
+        schemes = set.len(),
+        records = serial_records.len(),
+        serial_ms = json_f(serial_ms),
+        parallel_ms = json_f(parallel_ms),
+        speedup = json_f(speedup),
+        scps = json_f(cells as f64 / (serial_ms / 1e3).max(1e-9)),
+        pcps = json_f(cells as f64 / (parallel_ms / 1e3).max(1e-9)),
+        hit_rate = json_f(last_cache.hit_rate()),
+        wall = json_f(sim_wall_ms),
+        eps = json_f(events_per_sec),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
+    println!("wrote {out_path}");
+}

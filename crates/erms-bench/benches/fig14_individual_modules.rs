@@ -15,7 +15,7 @@ use erms_bench::{plan_static, table};
 use erms_core::app::{RequestRate, WorkloadVector};
 use erms_core::autoscaler::Autoscaler;
 use erms_core::latency::Interference;
-use erms_core::manager::{Erms, SchedulingMode};
+use erms_core::manager::Erms;
 use erms_workload::static_load::{sla_levels, workload_levels};
 
 fn main() {
@@ -64,13 +64,7 @@ fn main() {
     // (name, scheme without priority scheduling, scheme with it)
     type SchemePair = (&'static str, Box<dyn Autoscaler>, Box<dyn Autoscaler>);
     let pairs: Vec<SchemePair> = vec![
-        (
-            "erms",
-            Box::new(Erms {
-                mode: SchedulingMode::Fcfs,
-            }),
-            Box::new(Erms::new()),
-        ),
+        ("erms", Box::new(Erms::fcfs()), Box::new(Erms::new())),
         (
             "grandslam",
             Box::new(GrandSlam::new()),

@@ -16,7 +16,7 @@ use erms_core::app::{RequestRate, WorkloadVector};
 use erms_core::autoscaler::{Autoscaler, ScalingPlan};
 use erms_core::ids::ServiceId;
 use erms_core::latency::Interference;
-use erms_core::manager::{Erms, SchedulingMode};
+use erms_core::manager::Erms;
 use erms_trace::alibaba::{generate, AlibabaConfig};
 use rand::Rng;
 use rand::SeedableRng;
@@ -79,9 +79,7 @@ fn main() {
 
     let mut schemes: Vec<Box<dyn Autoscaler>> = vec![
         Box::new(Erms::new()),
-        Box::new(Erms {
-            mode: SchedulingMode::Fcfs,
-        }),
+        Box::new(Erms::fcfs()),
         Box::new(GrandSlam::new()),
         Box::new(Rhythm::new()),
     ];

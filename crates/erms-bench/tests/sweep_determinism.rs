@@ -1,0 +1,113 @@
+//! The parallel sweep engine must be a drop-in replacement for the serial
+//! loop it replaced: same records, same order, same float bits. These
+//! tests run the full `SchemeSet::Full` line-up over a reduced grid and
+//! compare every field of every record — `to_bits()` for floats, so even
+//! a `-0.0` vs `0.0` or last-ulp divergence fails.
+
+use std::sync::Arc;
+
+use erms_bench::sweep::{
+    static_sweep, static_sweep_on, static_sweep_serial, AppCatalog, SchemeSet, SweepRecord,
+};
+use erms_core::cache::PlanCache;
+use erms_core::latency::Interference;
+
+/// Reduced-scale grid: 2 SLAs x 3 apps x 3 rates x 4 schemes = 72 cells.
+const RATES: [f64; 3] = [600.0, 6_000.0, 40_000.0];
+const SLAS: [f64; 2] = [100.0, 200.0];
+
+fn assert_bit_identical(parallel: &[SweepRecord], serial: &[SweepRecord]) {
+    assert_eq!(
+        parallel.len(),
+        serial.len(),
+        "parallel and serial sweeps produced different record counts"
+    );
+    for (i, (p, s)) in parallel.iter().zip(serial).enumerate() {
+        assert_eq!(p.app, s.app, "record {i}: app diverged");
+        assert_eq!(p.scheme, s.scheme, "record {i}: scheme diverged");
+        assert_eq!(
+            p.workload.to_bits(),
+            s.workload.to_bits(),
+            "record {i}: workload bits diverged"
+        );
+        assert_eq!(
+            p.sla_ms.to_bits(),
+            s.sla_ms.to_bits(),
+            "record {i}: sla_ms bits diverged"
+        );
+        assert_eq!(
+            p.containers, s.containers,
+            "record {i}: containers diverged"
+        );
+        assert_eq!(
+            p.violation.to_bits(),
+            s.violation.to_bits(),
+            "record {i}: violation bits diverged ({} vs {})",
+            p.violation,
+            s.violation
+        );
+        assert_eq!(
+            p.latency_ratio.to_bits(),
+            s.latency_ratio.to_bits(),
+            "record {i}: latency_ratio bits diverged ({} vs {})",
+            p.latency_ratio,
+            s.latency_ratio
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let itf = Interference::new(0.45, 0.40);
+    let serial = static_sweep_serial(&RATES, &SLAS, itf, SchemeSet::Full);
+    let parallel = static_sweep(&RATES, &SLAS, itf, SchemeSet::Full);
+    assert!(!serial.is_empty(), "reduced grid should produce records");
+    assert_bit_identical(&parallel, &serial);
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_with_forced_thread_pool() {
+    // The rayon stub sizes its pool from RAYON_NUM_THREADS at call time,
+    // so forcing 4 exercises the genuinely multi-threaded path (index-
+    // tagged queue + reorder) even on a single-core host. This is the only
+    // test in this binary that touches the variable.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let itf = Interference::new(0.45, 0.40);
+    let serial = static_sweep_serial(&RATES, &SLAS, itf, SchemeSet::Full);
+    let parallel = static_sweep(&RATES, &SLAS, itf, SchemeSet::Full);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_bit_identical(&parallel, &serial);
+}
+
+#[test]
+fn fcfs_ablation_sweep_matches_serial_too() {
+    let itf = Interference::new(0.45, 0.40);
+    let serial = static_sweep_serial(&RATES[..2], &SLAS[..1], itf, SchemeSet::LatencyTargetOnly);
+    let parallel = static_sweep(&RATES[..2], &SLAS[..1], itf, SchemeSet::LatencyTargetOnly);
+    assert_bit_identical(&parallel, &serial);
+}
+
+#[test]
+fn shared_cache_counters_reflect_reuse_across_cells() {
+    let itf = Interference::new(0.45, 0.40);
+    let catalog = AppCatalog::new(&SLAS);
+    let cache = Arc::new(PlanCache::new());
+    let first = static_sweep_on(&catalog, &RATES, itf, SchemeSet::Full, &cache);
+    let (hits_cold, misses_cold) = (cache.hits(), cache.misses());
+    assert!(misses_cold > 0, "cold sweep must populate the cache");
+    assert!(
+        hits_cold > misses_cold,
+        "rates outnumber (app, SLA) pairs, so hits ({hits_cold}) should dominate \
+         misses ({misses_cold})"
+    );
+
+    // A second sweep over the same catalog replays entirely from cache.
+    let second = static_sweep_on(&catalog, &RATES, itf, SchemeSet::Full, &cache);
+    assert_eq!(
+        cache.misses(),
+        misses_cold,
+        "warm sweep must not add a single miss"
+    );
+    assert!(cache.hits() > hits_cold, "warm sweep must hit the cache");
+    assert_bit_identical(&second, &first);
+}

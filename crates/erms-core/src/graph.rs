@@ -198,6 +198,38 @@ impl DependencyGraph {
         seen
     }
 
+    /// A cheap structural content hash (FNV-1a over the root, every node's
+    /// microservice, multiplicity bits and stage layout).
+    ///
+    /// Two graphs with equal hashes are *probably* identical; callers that
+    /// need certainty (e.g. the [`PlanCache`](crate::cache::PlanCache)) must
+    /// still compare the graphs with `==` on hash collision. Equal graphs
+    /// always produce equal hashes, so the hash is a valid first-level cache
+    /// key for anything that is a pure function of the graph structure.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            hash ^= word;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        mix(self.root.index() as u64);
+        mix(self.nodes.len() as u64);
+        for node in &self.nodes {
+            mix(node.microservice.index() as u64);
+            mix(node.multiplicity.to_bits());
+            mix(node.stages.len() as u64);
+            for stage in &node.stages {
+                mix(stage.len() as u64);
+                for child in stage {
+                    mix(child.index() as u64);
+                }
+            }
+        }
+        hash
+    }
+
     /// Total calls per service request reaching microservice `ms`
     /// (the sum of effective multiplicities of nodes that reference it).
     pub fn calls_per_request(&self, ms: MicroserviceId) -> f64 {

@@ -67,6 +67,7 @@
 pub mod actions;
 pub mod app;
 pub mod autoscaler;
+pub mod cache;
 pub mod error;
 pub mod evaluate;
 pub mod graph;

@@ -23,17 +23,19 @@
 //! of the periodic controller.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::app::{App, WorkloadVector};
 use crate::autoscaler::{Autoscaler, ScalingContext, ScalingPlan};
+use crate::cache::PlanCache;
 use crate::error::Result;
 use crate::ids::{MicroserviceId, ServiceId};
 use crate::latency::Interference;
 use crate::multiplexing::{assign_priorities, cumulative_workloads, total_workloads};
 use crate::provisioning::{provision, ClusterState, PlacementPolicy, ProvisionReport};
-use crate::scaling::{own_workloads, plan_service, ScalerConfig, ServicePlan};
+use crate::scaling::{own_workloads, plan_service_cached, ScalerConfig, ServicePlan};
 
 /// How requests from different services are ordered at shared
 /// microservices.
@@ -55,6 +57,7 @@ pub struct ErmsScaler<'a> {
     app: &'a App,
     config: ScalerConfig,
     mode: SchedulingMode,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl<'a> ErmsScaler<'a> {
@@ -64,6 +67,7 @@ impl<'a> ErmsScaler<'a> {
             app,
             config: ScalerConfig::default(),
             mode: SchedulingMode::Priority,
+            cache: None,
         }
     }
 
@@ -81,6 +85,14 @@ impl<'a> ErmsScaler<'a> {
         self
     }
 
+    /// Shares a [`PlanCache`] memoizing graph merges across rounds.
+    /// Plans are bit-identical with or without a cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Computes a scaling plan for the observed workloads and cluster
     /// interference.
     ///
@@ -89,7 +101,14 @@ impl<'a> ErmsScaler<'a> {
     /// Returns [`Error::SlaInfeasible`](crate::Error::SlaInfeasible) when a
     /// service's SLA cannot be met by any allocation.
     pub fn plan(&self, workloads: &WorkloadVector, itf: Interference) -> Result<ScalingPlan> {
-        erms_plan(self.app, workloads, itf, &self.config, self.mode)
+        erms_plan_cached(
+            self.app,
+            workloads,
+            itf,
+            &self.config,
+            self.mode,
+            self.cache.as_deref(),
+        )
     }
 }
 
@@ -102,6 +121,24 @@ pub fn erms_plan(
     config: &ScalerConfig,
     mode: SchedulingMode,
 ) -> Result<ScalingPlan> {
+    erms_plan_cached(app, workloads, itf, config, mode, None)
+}
+
+/// [`erms_plan`] with an optional [`PlanCache`] memoizing the graph merges
+/// of both Latency Target Computation passes.
+///
+/// The cache only short-circuits Alg. 1 (merge-tree construction) on exact
+/// input equality, so the returned plan is bit-identical to the uncached
+/// one; repeated controller rounds over the same app stop re-deriving the
+/// same merge trees.
+pub fn erms_plan_cached(
+    app: &App,
+    workloads: &WorkloadVector,
+    itf: Interference,
+    config: &ScalerConfig,
+    mode: SchedulingMode,
+    cache: Option<&PlanCache>,
+) -> Result<ScalingPlan> {
     let mut plan = ScalingPlan::new(match mode {
         SchedulingMode::Priority => "erms",
         SchedulingMode::Fcfs => "erms-fcfs",
@@ -113,7 +150,10 @@ pub fn erms_plan(
     for (sid, _) in app.services() {
         let rate = workloads.rate(sid);
         let eff = own_workloads(app, sid, rate)?;
-        initial.insert(sid, plan_service(app, sid, rate, &eff, itf, config)?);
+        initial.insert(
+            sid,
+            plan_service_cached(app, sid, rate, &eff, itf, config, cache)?,
+        );
     }
 
     // Priority assignment at shared microservices (§5.3.2).
@@ -131,7 +171,7 @@ pub fn erms_plan(
             SchedulingMode::Priority => cumulative_workloads(app, sid, workloads, &priorities)?,
             SchedulingMode::Fcfs => total_workloads(app, sid, workloads)?,
         };
-        let sp = plan_service(app, sid, rate, &eff, itf, config)?;
+        let sp = plan_service_cached(app, sid, rate, &eff, itf, config, cache)?;
         for (&ms, &n) in &sp.ms_containers {
             demand.entry(ms).and_modify(|d| *d = d.max(n)).or_insert(n);
         }
@@ -167,6 +207,7 @@ pub fn erms_plan(
 pub struct Erms {
     /// Scheduling mode at shared microservices.
     pub mode: SchedulingMode,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl Erms {
@@ -180,7 +221,16 @@ impl Erms {
     pub fn fcfs() -> Self {
         Self {
             mode: SchedulingMode::Fcfs,
+            cache: None,
         }
+    }
+
+    /// Shares a [`PlanCache`] memoizing graph merges across planning
+    /// rounds. Plans are bit-identical with or without a cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 }
 
@@ -193,12 +243,13 @@ impl Autoscaler for Erms {
     }
 
     fn plan(&mut self, ctx: &ScalingContext<'_>) -> Result<ScalingPlan> {
-        erms_plan(
+        erms_plan_cached(
             ctx.app,
             ctx.workloads,
             ctx.interference,
             ctx.config,
             self.mode,
+            self.cache.as_deref(),
         )
     }
 }

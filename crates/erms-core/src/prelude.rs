@@ -7,6 +7,7 @@
 pub use crate::actions::{Action, PlanDelta};
 pub use crate::app::{App, AppBuilder, Microservice, RequestRate, Service, Sla, WorkloadVector};
 pub use crate::autoscaler::{Autoscaler, ScalingContext, ScalingPlan};
+pub use crate::cache::PlanCache;
 pub use crate::error::{Error, Result};
 pub use crate::evaluate::{
     all_service_latencies, plan_meets_slas, service_latency, workload_sensitivity,

@@ -37,13 +37,15 @@
 //! and never panics; the worst case is an honest no-op.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::app::{App, WorkloadVector};
 use crate::autoscaler::ScalingPlan;
+use crate::cache::PlanCache;
 use crate::error::Error;
 use crate::ids::{MicroserviceId, ServiceId};
 use crate::latency::Interference;
-use crate::manager::{erms_plan, SchedulingMode};
+use crate::manager::{erms_plan_cached, SchedulingMode};
 use crate::provisioning::{provision, ClusterState, PlacementPolicy, ProvisionReport};
 use crate::scaling::ScalerConfig;
 
@@ -233,6 +235,11 @@ pub struct ResilientManager {
     /// Per-microservice last rescaling: (+1 up / −1 down, round it happened).
     directions: BTreeMap<MicroserviceId, (i8, u64)>,
     history: Vec<ResilienceReport>,
+    /// Merge-tree memo shared by every planning attempt (rung 0 and shed
+    /// re-plans). The app's graphs never change between rounds, so after
+    /// the first round every rung replays cached merges — `Default` gives
+    /// each manager its own empty cache, and `Clone` shares it.
+    cache: Arc<PlanCache>,
 }
 
 impl ResilientManager {
@@ -247,6 +254,12 @@ impl ResilientManager {
     /// The ladder configuration.
     pub fn config(&self) -> &ResilienceConfig {
         &self.config
+    }
+
+    /// The merge-tree memo used by every planning attempt, exposing
+    /// hit/miss counters for observability and tests.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
     }
 
     /// Reports of every round run so far, in order — the audit trail of
@@ -280,7 +293,14 @@ impl ResilientManager {
         // it was never re-validated — so the staleness bound genuinely
         // limits how long a broken planner can coast.
         let mut fresh = true;
-        let mut plan = match erms_plan(app, workloads, itf, &self.config.scaler, self.config.mode) {
+        let mut plan = match erms_plan_cached(
+            app,
+            workloads,
+            itf,
+            &self.config.scaler,
+            self.config.mode,
+            Some(&self.cache),
+        ) {
             Ok(plan) => plan,
             Err(err) => {
                 report.errors.push(err);
@@ -361,7 +381,14 @@ impl ResilientManager {
                         );
                     }
                     let shed = self.shed_workloads(app, workloads, attempt, &mut report);
-                    match erms_plan(app, &shed, itf, &self.config.scaler, self.config.mode) {
+                    match erms_plan_cached(
+                        app,
+                        &shed,
+                        itf,
+                        &self.config.scaler,
+                        self.config.mode,
+                        Some(&self.cache),
+                    ) {
                         Ok(replanned) => {
                             plan = replanned;
                             self.apply_hysteresis(round, &mut plan, &mut report);
@@ -428,7 +455,8 @@ impl ResilientManager {
     /// (loosest SLA first — the least latency-critical traffic goes first)
     /// are scaled to `(1 − shed_step)^k` of their observed rate. Rates stay
     /// strictly positive, so — by the explicit plan semantics of
-    /// [`erms_plan`] — a shed service's microservices are never deallocated
+    /// [`erms_plan`](crate::manager::erms_plan) — a shed service's
+    /// microservices are never deallocated
     /// outright.
     fn shed_workloads(
         &self,

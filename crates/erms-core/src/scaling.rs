@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::app::{App, RequestRate};
+use crate::cache::PlanCache;
 use crate::error::{Error, Result};
 use crate::ids::{MicroserviceId, ServiceId};
 use crate::latency::{Interference, Interval};
@@ -300,6 +301,26 @@ pub fn plan_service(
     itf: Interference,
     config: &ScalerConfig,
 ) -> Result<ServicePlan> {
+    plan_service_cached(app, service, rate, eff_workloads, itf, config, None)
+}
+
+/// [`plan_service`] with an optional [`PlanCache`] memoizing the graph
+/// merge (Alg. 1).
+///
+/// With `Some(cache)` the merge tree for each `(graph, folded params)` pair
+/// is computed once and replayed on subsequent rounds; the replay is
+/// bit-identical to the cold computation (the cache hits only on exact
+/// input equality), so plans are unchanged. With `None` this is exactly
+/// [`plan_service`].
+pub fn plan_service_cached(
+    app: &App,
+    service: ServiceId,
+    rate: RequestRate,
+    eff_workloads: &EffectiveWorkloads,
+    itf: Interference,
+    config: &ScalerConfig,
+    cache: Option<&PlanCache>,
+) -> Result<ServicePlan> {
     let svc = app.service(service)?;
     if svc.graph.is_empty() {
         return Err(Error::EmptyGraph { service });
@@ -342,15 +363,27 @@ pub fn plan_service(
             ));
         }
 
-        let merged = MergedGraph::merge(&svc.graph, &node_params);
-        let node_targets =
-            merged
-                .assign_targets(svc.sla.threshold_ms)
-                .ok_or(Error::SlaInfeasible {
-                    service,
-                    sla_ms: svc.sla.threshold_ms,
-                    floor_ms: merged.floor_ms(),
-                })?;
+        let (floor_ms, node_targets) = match cache {
+            Some(cache) => {
+                let merged = cache.merged(&svc.graph, &node_params);
+                (
+                    merged.floor_ms(),
+                    merged.assign_targets(svc.sla.threshold_ms),
+                )
+            }
+            None => {
+                let merged = MergedGraph::merge(&svc.graph, &node_params);
+                (
+                    merged.floor_ms(),
+                    merged.assign_targets(svc.sla.threshold_ms),
+                )
+            }
+        };
+        let node_targets = node_targets.ok_or(Error::SlaInfeasible {
+            service,
+            sla_ms: svc.sla.threshold_ms,
+            floor_ms,
+        })?;
 
         // Per-call targets: minimum over call sites, unfolded by the
         // effective multiplicity.

@@ -62,5 +62,5 @@ pub mod service_time;
 pub mod stats;
 
 pub use faults::{ClusterFault, ClusterFaultPlan, FaultPlan};
-pub use runtime::{Scheduling, SimConfig, SimResult, Simulation};
+pub use runtime::{PercentileView, Scheduling, SimConfig, SimResult, Simulation};
 pub use service_time::ServiceTimeModel;

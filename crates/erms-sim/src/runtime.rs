@@ -288,6 +288,9 @@ pub struct SimResult {
     /// Spans dropped before reaching the trace store
     /// ([`FaultPlan::span_loss`]).
     pub lost_spans: u64,
+    /// Discrete events processed by the engine (arrivals, ready, done and
+    /// fault firings) — the denominator of events/sec throughput figures.
+    pub events: u64,
 }
 
 impl SimResult {
@@ -307,6 +310,25 @@ impl SimResult {
             .unwrap_or(0.0)
     }
 
+    /// Builds a sorted per-service view of the latency samples: sorts each
+    /// service's vector once, after which any number of percentile and
+    /// violation-rate queries cost O(1) / O(log n) instead of a copy+sort
+    /// per call. Answers agree exactly with [`Self::latency_percentile`]
+    /// and [`Self::violation_rate`].
+    pub fn percentile_view(&self) -> PercentileView {
+        PercentileView {
+            sorted: self
+                .service_latencies
+                .iter()
+                .map(|(&sid, v)| {
+                    let mut sorted = v.clone();
+                    stats::sort_samples(&mut sorted);
+                    (sid, sorted)
+                })
+                .collect(),
+        }
+    }
+
     /// Flattens the per-microservice observations into the trace crate's
     /// [`LatencyObservation`] form for aggregation and profiling.
     pub fn latency_observations(&self) -> Vec<LatencyObservation> {
@@ -322,6 +344,37 @@ impl SimResult {
             }
         }
         out
+    }
+}
+
+/// Sorted per-service latency samples from [`SimResult::percentile_view`]:
+/// sort once, query many percentiles.
+#[derive(Debug, Clone)]
+pub struct PercentileView {
+    sorted: BTreeMap<ServiceId, Vec<f64>>,
+}
+
+impl PercentileView {
+    /// Tail latency of a service (nearest-rank percentile; 0 for services
+    /// with no samples).
+    pub fn latency_percentile(&self, service: ServiceId, p: f64) -> f64 {
+        self.sorted
+            .get(&service)
+            .map(|v| stats::percentile_sorted(v, p))
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of a service's requests exceeding `threshold_ms`.
+    pub fn violation_rate(&self, service: ServiceId, threshold_ms: f64) -> f64 {
+        self.sorted
+            .get(&service)
+            .map(|v| stats::fraction_above_sorted(v, threshold_ms))
+            .unwrap_or(0.0)
+    }
+
+    /// The sorted samples of one service, if it completed any requests.
+    pub fn sorted_latencies(&self, service: ServiceId) -> Option<&[f64]> {
+        self.sorted.get(&service).map(Vec::as_slice)
     }
 }
 
@@ -377,7 +430,9 @@ impl Ord for HeapItem {
     }
 }
 
-#[derive(Debug, Clone)]
+// `Copy` is load-bearing for the hot path: `complete()` reads the call out
+// of the arena by value, with no per-event heap traffic.
+#[derive(Debug, Clone, Copy)]
 struct Call {
     service: ServiceId,
     node: NodeId,
@@ -622,6 +677,7 @@ impl<'s, 'a> Engine<'s, 'a> {
             crash_violations: self.crash_violations,
             crashed_containers: self.crashed_containers,
             lost_spans: self.lost_spans,
+            events,
         }
     }
 
@@ -629,7 +685,9 @@ impl<'s, 'a> Engine<'s, 'a> {
     /// queues and void their in-service calls. Crashing more containers
     /// than a deployment has degrades to losing them all.
     fn on_fault(&mut self, index: usize) {
-        let losses = self.fault_schedule[index].losses.clone();
+        // Each schedule entry fires exactly once (one `Fault` event pushed
+        // in `run`), so taking the losses out avoids cloning the vector.
+        let losses = std::mem::take(&mut self.fault_schedule[index].losses);
         for (ms, count) in losses {
             let Some(dep) = self.deployments.get_mut(&ms) else {
                 continue;
@@ -851,16 +909,20 @@ impl<'s, 'a> Engine<'s, 'a> {
         };
         // Invariant, not user-reachable: calls are only created for
         // services that passed `validate`.
-        let svc = self.sim.app.service(service).expect("validated service");
+        //
+        // Copying the `&Simulation` out of `self` decouples the graph
+        // borrow from the `&mut self` calls below, so the stage's child
+        // list is iterated in place instead of cloned per event.
+        let sim = self.sim;
+        let svc = sim.app.service(service).expect("validated service");
         let node = svc.graph.node(node_id);
         if stage >= node.stages.len() {
             self.complete(idx, time);
             return;
         }
-        let children: Vec<NodeId> = node.stages[stage].clone();
         let mut spawned = 0usize;
-        let net = self.sim.config.network_delay_ms;
-        for child_node in children {
+        let net = sim.config.network_delay_ms;
+        for &child_node in &node.stages[stage] {
             let copies = self.multiplicity_copies(svc, child_node);
             for _ in 0..copies {
                 let child_ms = svc.graph.node(child_node).microservice;
@@ -912,7 +974,7 @@ impl<'s, 'a> Engine<'s, 'a> {
     /// A call finished all its stages: emit spans, notify the parent or
     /// finish the request.
     fn complete(&mut self, idx: u32, time: f64) {
-        let call = self.calls[idx as usize].clone();
+        let call = self.calls[idx as usize];
         // Server span: arrival at this microservice to response sent.
         if let Some((trace_id, span_id)) = call.trace {
             let parent_span = call

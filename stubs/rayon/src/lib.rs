@@ -1,0 +1,230 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so — like the other crates
+//! under `stubs/` — this implements exactly the API subset the workspace
+//! uses, with the same observable semantics:
+//!
+//! * `vec.into_par_iter().map(op).collect::<Vec<_>>()` applies `op` to every
+//!   element on a pool of scoped OS threads and returns the results **in
+//!   input order**, regardless of which thread finished first.
+//! * `rayon::join(a, b)` runs two closures concurrently and returns both
+//!   results.
+//! * `rayon::current_num_threads()` reports the worker count, honouring the
+//!   standard `RAYON_NUM_THREADS` environment variable (so `=1` forces a
+//!   serial execution, which the benches use for A/B timing).
+//!
+//! Differences from real rayon, none of which are observable to this
+//! workspace: adapters are eager rather than lazy (`map` runs the closure
+//! immediately instead of building a lazy pipeline), work distribution is a
+//! shared index-tagged queue rather than work stealing, and threads are
+//! spawned per call rather than pooled. Determinism is preserved by tagging
+//! each item with its input index and sorting the tags back out before
+//! returning. Restoring the real crate is a one-line change in the root
+//! `Cargo.toml`.
+
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use.
+///
+/// Honours `RAYON_NUM_THREADS` (clamped to at least 1) and otherwise falls
+/// back to [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Apply `op` to every item on `current_num_threads()` scoped threads,
+/// returning results in input order.
+///
+/// Items are drained from a shared queue so slow cells don't serialize
+/// behind a static partition; each result carries its input index and the
+/// collected vector is sorted by that index before returning, which makes
+/// the output byte-identical to the serial map.
+fn par_map_vec<T, R, F>(items: Vec<T>, op: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return items.into_iter().map(op).collect();
+    }
+    // Reverse so `pop` hands out items in input order (helps locality; the
+    // final sort is what guarantees ordering).
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let op = &op;
+    let queue = &queue;
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("rayon queue poisoned").pop();
+                        match next {
+                            Some((index, item)) => local.push((index, op(item))),
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon worker thread panicked"));
+        }
+        out
+    });
+    tagged.sort_by_key(|&(index, _)| index);
+    tagged.into_iter().map(|(_, result)| result).collect()
+}
+
+/// Eager parallel iterator over an owned sequence of items.
+///
+/// Unlike real rayon this is not a lazy pipeline: `map` executes in
+/// parallel immediately and yields another `ParIter` holding the (ordered)
+/// results. For `into_par_iter().map(..).collect()` chains the observable
+/// behaviour is identical.
+#[derive(Debug)]
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel, order-preserving map.
+    pub fn map<R, F>(self, op: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        ParIter {
+            items: par_map_vec(self.items, op),
+        }
+    }
+
+    /// Parallel for-each (order of side effects is unspecified, as in rayon).
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        par_map_vec(self.items, op);
+    }
+
+    /// Collect the (already computed, input-ordered) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into an eager parallel iterator; mirrors rayon's trait of the
+/// same name.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `rayon::prelude` — everything the workspace imports with `use
+/// rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 3).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_with_uneven_work_stays_ordered() {
+        // Make early items slow so late items finish first on other threads.
+        let out: Vec<usize> = (0..64usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let input = vec![1.5f64, 2.5, 3.5];
+        let out: Vec<f64> = input.as_slice().into_par_iter().map(|x| x + 1.0).collect();
+        assert_eq!(out, vec![2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

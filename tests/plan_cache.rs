@@ -1,0 +1,207 @@
+//! Cache correctness end-to-end: planning through a warm [`PlanCache`]
+//! must be indistinguishable from planning cold. The cache only
+//! short-circuits Alg. 1 merge-tree construction on exact input equality
+//! (graph content hash + bitwise parameters), so these tests hold it to
+//! *equality of whole plans*, not approximate agreement — including
+//! through the resilience ladder's degraded rounds, where re-planning
+//! after demand shedding also flows through the cache.
+
+use erms::core::cache::PlanCache;
+use erms::core::manager::{erms_plan, erms_plan_cached, SchedulingMode};
+use erms::core::prelude::*;
+use erms::core::resilience::{ResilienceConfig, ResilientManager};
+use erms::core::scaling::ScalerConfig;
+
+fn shared_app() -> App {
+    let mut b = AppBuilder::new("cache-e2e");
+    let u = b.microservice(
+        "U",
+        LatencyProfile::linear(0.08, 3.0),
+        Resources::new(0.5, 512.0),
+    );
+    let h = b.microservice(
+        "H",
+        LatencyProfile::linear(0.02, 3.0),
+        Resources::new(0.5, 512.0),
+    );
+    let p = b.microservice(
+        "P",
+        LatencyProfile::linear(0.03, 2.0),
+        Resources::new(0.5, 512.0),
+    );
+    b.service("tight", Sla::p95_ms(120.0), |g| {
+        let root = g.entry(u);
+        g.call_seq(root, p);
+    });
+    b.service("loose", Sla::p95_ms(300.0), |g| {
+        let root = g.entry(h);
+        g.call_seq(root, p);
+    });
+    b.build().unwrap()
+}
+
+fn workloads(app: &App, per_min: f64) -> WorkloadVector {
+    WorkloadVector::uniform(app, RequestRate::per_minute(per_min))
+}
+
+#[test]
+fn warm_cache_plans_equal_cold_plans_across_rates_and_interference() {
+    let app = shared_app();
+    let config = ScalerConfig::default();
+    let cache = PlanCache::new();
+
+    for mode in [SchedulingMode::Priority, SchedulingMode::Fcfs] {
+        for &rate in &[600.0, 6_000.0, 40_000.0] {
+            for &itf in &[Interference::default(), Interference::new(0.45, 0.40)] {
+                let w = workloads(&app, rate);
+                let cold = erms_plan(&app, &w, itf, &config, mode).unwrap();
+                let first = erms_plan_cached(&app, &w, itf, &config, mode, Some(&cache)).unwrap();
+                let warm = erms_plan_cached(&app, &w, itf, &config, mode, Some(&cache)).unwrap();
+                assert_eq!(cold, first, "cached plan diverged from uncached plan");
+                assert_eq!(first, warm, "warm replay diverged from first cached plan");
+            }
+        }
+    }
+    assert!(cache.hits() > 0, "replays must register as cache hits");
+    assert!(
+        cache.misses() > 0,
+        "first derivations must register as misses"
+    );
+}
+
+#[test]
+fn cache_counters_increment_and_hits_dominate_on_replay() {
+    let app = shared_app();
+    let config = ScalerConfig::default();
+    let cache = PlanCache::new();
+    let w = workloads(&app, 12_000.0);
+    let itf = Interference::new(0.3, 0.3);
+
+    erms_plan_cached(
+        &app,
+        &w,
+        itf,
+        &config,
+        SchedulingMode::Priority,
+        Some(&cache),
+    )
+    .unwrap();
+    let (h0, m0) = (cache.hits(), cache.misses());
+    assert!(m0 > 0, "cold plan must miss");
+
+    erms_plan_cached(
+        &app,
+        &w,
+        itf,
+        &config,
+        SchedulingMode::Priority,
+        Some(&cache),
+    )
+    .unwrap();
+    assert_eq!(cache.misses(), m0, "identical replan must not miss");
+    assert!(cache.hits() > h0, "identical replan must hit");
+}
+
+/// Drives two ResilientManagers through the same ramp — including an
+/// overload round that exercises the shed-and-replan rung — one with its
+/// merge memo intact, one force-cleared before every round. Every applied
+/// plan and every degradation report must match exactly.
+#[test]
+fn resilience_ladder_with_warm_cache_matches_cold_cache_exactly() {
+    let app = shared_app();
+    // Two small hosts: the 60k req/min round cannot fit, forcing the
+    // ladder into placement relaxation and demand shedding.
+    let hosts = || vec![Host::new(8.0, 8_192.0), Host::new(8.0, 8_192.0)];
+    let ramp = [6_000.0, 20_000.0, 60_000.0, 60_000.0, 9_000.0, 6_000.0];
+
+    let mut warm = ResilientManager::new(ResilienceConfig::default());
+    let mut cold = ResilientManager::new(ResilienceConfig::default());
+    let mut warm_state = ClusterState::new(hosts());
+    let mut cold_state = ClusterState::new(hosts());
+
+    let mut saw_degraded = false;
+    for (round, &rate) in ramp.iter().enumerate() {
+        let w = workloads(&app, rate);
+        // The cold manager re-derives every merge tree from scratch each
+        // round; the warm one replays its memo.
+        cold.plan_cache().clear();
+        let warm_out = warm.run_round(&app, &mut warm_state, &w);
+        let cold_out = cold.run_round(&app, &mut cold_state, &w);
+
+        assert_eq!(
+            warm_out.plan, cold_out.plan,
+            "round {round}: warm-cache plan diverged from cold-cache plan"
+        );
+        assert_eq!(
+            warm_out.report.actions, cold_out.report.actions,
+            "round {round}: degradation ladder took different fallbacks"
+        );
+        assert_eq!(
+            warm_out.report.skipped(),
+            cold_out.report.skipped(),
+            "round {round}: skip decisions diverged"
+        );
+        saw_degraded |= warm_out.report.degraded();
+    }
+
+    assert!(
+        saw_degraded,
+        "the overload rounds should exercise the degradation ladder"
+    );
+    assert!(
+        warm.plan_cache().hits() > 0,
+        "later rounds must replay merges from the warm cache"
+    );
+    assert!(
+        warm.plan_cache().misses() < cold.plan_cache().misses() + warm.plan_cache().hits(),
+        "warm manager must derive strictly less than it replays overall"
+    );
+}
+
+#[test]
+fn resilient_manager_cache_hits_accumulate_across_rounds() {
+    let app = shared_app();
+    let mut mgr = ResilientManager::new(ResilienceConfig::default());
+    let mut state = ClusterState::paper_cluster();
+
+    let w = workloads(&app, 9_000.0);
+    mgr.run_round(&app, &mut state, &w);
+    let (h1, m1) = (mgr.plan_cache().hits(), mgr.plan_cache().misses());
+    assert!(m1 > 0, "first round must populate the memo");
+
+    mgr.run_round(&app, &mut state, &w);
+    assert_eq!(
+        mgr.plan_cache().misses(),
+        m1,
+        "second round over unchanged inputs must not re-derive any merge tree"
+    );
+    assert!(
+        mgr.plan_cache().hits() > h1,
+        "second round must replay from the memo"
+    );
+}
+
+/// A manager cloned from another shares the same memo (`Clone` shares the
+/// `Arc`), so a standby replica starts warm.
+#[test]
+fn cloned_manager_shares_the_memo() {
+    let app = shared_app();
+    let mut primary = ResilientManager::new(ResilienceConfig::default());
+    let mut state = ClusterState::paper_cluster();
+    primary.run_round(&app, &mut state, &workloads(&app, 9_000.0));
+    let misses = primary.plan_cache().misses();
+    assert!(misses > 0);
+
+    let mut standby = primary.clone();
+    let mut standby_state = ClusterState::paper_cluster();
+    standby.run_round(&app, &mut standby_state, &workloads(&app, 9_000.0));
+    assert_eq!(
+        standby.plan_cache().misses(),
+        misses,
+        "standby must replay the primary's memo, not re-derive it"
+    );
+    assert!(
+        standby.plan_cache().hits() > 0,
+        "standby's round must land as hits on the shared memo"
+    );
+}

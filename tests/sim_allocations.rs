@@ -1,0 +1,121 @@
+//! Allocation discipline of the DES hot path: the arrival → ready → done
+//! event loop must not clone per-event `Vec`s or structs. With every
+//! per-event clone removed, heap *allocation calls* during a run come only
+//! from amortized container growth (doubling) — O(log events) — plus a
+//! fixed per-structure setup cost. This test pins that down by running the
+//! same scenario at 1x and 8x duration under a counting global allocator:
+//! 8x the events must cost far less than 8x the allocation calls.
+//!
+//! (This file is its own crate, so the facade's `forbid(unsafe_code)` does
+//! not apply; the `unsafe` here is confined to the allocator shim.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use erms::core::prelude::*;
+use erms::sim::runtime::{SimConfig, Simulation};
+use erms::sim::service_time::derive_from_profile;
+use erms::workload::apps::fig5_app;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every allocator entry point (alloc, realloc — a `Vec` doubling
+/// is a realloc) and forwards to the system allocator.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Runs the Fig. 5 scenario for `duration_ms` and returns
+/// (events processed, allocator calls made during `run` itself).
+fn run_counted(duration_ms: f64) -> (u64, u64) {
+    let (app, _, [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.3, 0.3);
+    let mut w = WorkloadVector::new();
+    w.set(s1, RequestRate::per_minute(20_000.0));
+    w.set(s2, RequestRate::per_minute(20_000.0));
+    let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible plan");
+
+    let mut sim = Simulation::new(
+        &app,
+        SimConfig {
+            duration_ms,
+            warmup_ms: 0.0,
+            seed: 11,
+            trace_sampling: 0.0,
+            ..SimConfig::default()
+        },
+    );
+    for (ms, m) in app.microservices() {
+        let (model, threads) = derive_from_profile(&m.profile, itf, 0.75);
+        sim.set_service_time(ms, model);
+        sim.set_threads(ms, threads);
+    }
+    sim.set_uniform_interference(itf);
+    let containers: BTreeMap<_, _> = app
+        .microservices()
+        .map(|(ms, _)| (ms, plan.containers(ms)))
+        .collect();
+    let mut priorities = BTreeMap::new();
+    for ms in app.shared_microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            priorities.insert(ms, order.to_vec());
+        }
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let result = sim.run(&w, &containers, &priorities).expect("sim runs");
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    (result.events, allocs)
+}
+
+/// One test function only: the counter is global to the test binary, so
+/// concurrent tests would pollute each other's windows.
+#[test]
+fn event_loop_allocations_grow_sublinearly_with_events() {
+    let (events_short, allocs_short) = run_counted(4_000.0);
+    let (events_long, allocs_long) = run_counted(32_000.0);
+
+    let event_ratio = events_long as f64 / events_short as f64;
+    let alloc_ratio = allocs_long as f64 / allocs_short as f64;
+    assert!(
+        event_ratio > 6.0,
+        "8x duration should process ~8x events (got {event_ratio:.2}x: \
+         {events_short} -> {events_long})"
+    );
+
+    // A single per-event clone anywhere on the hot path would drive the
+    // allocation ratio to the event ratio. Amortized growth keeps it near
+    // 1; allow generous headroom for BTreeMap rebalancing and the result
+    // assembly.
+    assert!(
+        alloc_ratio < event_ratio / 2.0,
+        "allocation calls must grow sublinearly with events: {allocs_short} allocs \
+         for {events_short} events vs {allocs_long} allocs for {events_long} events \
+         ({alloc_ratio:.2}x allocs for {event_ratio:.2}x events)"
+    );
+
+    // Absolute bound: well under one allocation per event in steady state.
+    let marginal = (allocs_long - allocs_short) as f64 / (events_long - events_short) as f64;
+    assert!(
+        marginal < 0.5,
+        "marginal allocations per event must stay below 0.5, got {marginal:.3}"
+    );
+}
