@@ -4,13 +4,16 @@
 //! microservice latency — mean, variance and correlation with end-to-end
 //! latency — "regardless of the workload and interference" (§2.2). This
 //! module derives those statistics the way the baselines would measure
-//! them: by observing each service across a sweep of load levels.
+//! them: by observing each service across a sweep of load levels. The
+//! numeric primitives (mean, variance, Pearson correlation) come from the
+//! shared [`erms_core::stats`] module.
 
 use std::collections::BTreeMap;
 
 use erms_core::app::{App, Service};
 use erms_core::ids::{MicroserviceId, NodeId, ServiceId};
 use erms_core::latency::Interference;
+use erms_core::stats::{mean, pearson, variance};
 
 /// Summary statistics of one microservice's latency across workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -88,7 +91,7 @@ pub fn derive(app: &App, itf: Interference) -> StatsTable {
                 .map(|&f| ms_latency_at(app, ms, f, itf))
                 .collect();
             let mean = mean(&series);
-            let variance = variance(&series, mean);
+            let variance = variance(&series);
             let correlation = pearson(&series, &e2e);
             entries.insert(
                 (sid, ms),
@@ -101,32 +104,6 @@ pub fn derive(app: &App, itf: Interference) -> StatsTable {
         }
     }
     StatsTable { entries }
-}
-
-fn mean(v: &[f64]) -> f64 {
-    if v.is_empty() {
-        return 0.0;
-    }
-    v.iter().sum::<f64>() / v.len() as f64
-}
-
-fn variance(v: &[f64], mean: f64) -> f64 {
-    if v.is_empty() {
-        return 0.0;
-    }
-    v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64
-}
-
-fn pearson(a: &[f64], b: &[f64]) -> f64 {
-    let ma = mean(a);
-    let mb = mean(b);
-    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
-    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
-    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
-    if va <= 0.0 || vb <= 0.0 {
-        return 0.0;
-    }
-    cov / (va.sqrt() * vb.sqrt())
 }
 
 #[cfg(test)]
@@ -178,14 +155,5 @@ mod tests {
         let table = derive(&app, Interference::default());
         let stats = table.get(svc, MicroserviceId::new(99));
         assert_eq!(stats.mean, 0.0);
-    }
-
-    #[test]
-    fn pearson_of_identical_series_is_one() {
-        let a = [1.0, 2.0, 3.0, 4.0];
-        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
-        let b = [4.0, 3.0, 2.0, 1.0];
-        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
-        assert_eq!(pearson(&a, &[1.0, 1.0, 1.0, 1.0]), 0.0);
     }
 }

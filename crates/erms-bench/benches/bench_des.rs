@@ -1,0 +1,229 @@
+//! DES engine perf harness: times the dense-state engine against the
+//! pre-refactor map-based reference (`Simulation::run_reference`, kept
+//! verbatim in `erms-sim/src/reference.rs`) and the parallel replication
+//! harness against its serial loop, then emits `BENCH_des.json` so every
+//! future PR is judged against recorded numbers.
+//!
+//! Usage (as a `harness = false` bench target):
+//!
+//! ```text
+//! cargo bench -p erms-bench --bench bench_des            # full run
+//! cargo bench -p erms-bench --bench bench_des -- --quick # CI smoke
+//! cargo bench -p erms-bench --bench bench_des -- --out /tmp/b.json
+//! ```
+//!
+//! Before any number is written, the dense engine's output is asserted
+//! bit-identical to the reference on the benchmarked scenario, and the
+//! parallel replication results bit-identical to the serial loop — the
+//! speedups are honestly "same answer, faster".
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use erms_core::latency::Interference;
+use erms_core::manager::ErmsScaler;
+use erms_core::prelude::{MicroserviceId, RequestRate, ServiceId, WorkloadVector};
+use erms_sim::runtime::{SimConfig, SimResult, Simulation};
+use erms_sim::service_time::derive_from_profile;
+use erms_sim::{replicate, replicate_serial};
+use erms_workload::apps::fig5_app;
+
+/// The benchmarked scenario: the Fig. 5 app under a planned allocation,
+/// exactly as `bench_sweep`'s events/sec probe builds it.
+struct Scenario {
+    app: erms_core::app::App,
+    workloads: WorkloadVector,
+    containers: BTreeMap<MicroserviceId, u32>,
+    priorities: BTreeMap<MicroserviceId, Vec<ServiceId>>,
+    itf: Interference,
+}
+
+fn scenario() -> Scenario {
+    let (app, _, [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.3, 0.3);
+    let mut workloads = WorkloadVector::new();
+    workloads.set(s1, RequestRate::per_minute(30_000.0));
+    workloads.set(s2, RequestRate::per_minute(30_000.0));
+    let plan = ErmsScaler::new(&app)
+        .plan(&workloads, itf)
+        .expect("feasible plan");
+    let containers: BTreeMap<_, _> = app
+        .microservices()
+        .map(|(ms, _)| (ms, plan.containers(ms)))
+        .collect();
+    let mut priorities = BTreeMap::new();
+    for ms in app.shared_microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            priorities.insert(ms, order.to_vec());
+        }
+    }
+    Scenario {
+        app,
+        workloads,
+        containers,
+        priorities,
+        itf,
+    }
+}
+
+fn build_sim(sc: &Scenario, duration_ms: f64, seed: u64) -> Simulation<'_> {
+    let mut sim = Simulation::new(
+        &sc.app,
+        SimConfig {
+            duration_ms,
+            warmup_ms: 0.0,
+            seed,
+            trace_sampling: 0.0,
+            ..SimConfig::default()
+        },
+    );
+    for (ms, m) in sc.app.microservices() {
+        let (model, threads) = derive_from_profile(&m.profile, sc.itf, 0.75);
+        sim.set_service_time(ms, model);
+        sim.set_threads(ms, threads);
+    }
+    sim.set_uniform_interference(sc.itf);
+    sim
+}
+
+fn results_bit_identical(a: &SimResult, b: &SimResult) -> bool {
+    a.generated == b.generated
+        && a.completed == b.completed
+        && a.dropped == b.dropped
+        && a.timed_out == b.timed_out
+        && a.crash_violations == b.crash_violations
+        && a.crashed_containers == b.crashed_containers
+        && a.events == b.events
+        && a.service_latencies.len() == b.service_latencies.len()
+        && a.service_latencies
+            .iter()
+            .zip(&b.service_latencies)
+            .all(|((sa, la), (sb, lb))| {
+                sa == sb
+                    && la.len() == lb.len()
+                    && la.iter().zip(lb).all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+}
+
+/// Minimum wall-clock over `reps` *interleaved* runs of `a` then `b`, in
+/// milliseconds, plus each one's last output. Interleaving keeps slow
+/// phases of a shared/throttled host from landing entirely on one side of
+/// the comparison.
+fn time_min_pair<TA, TB>(
+    reps: usize,
+    mut a: impl FnMut() -> TA,
+    mut b: impl FnMut() -> TB,
+) -> ((f64, TA), (f64, TB)) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut out_a = None;
+    let mut out_b = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let value = a();
+        best_a = best_a.min(start.elapsed().as_secs_f64() * 1e3);
+        out_a = Some(value);
+        let start = Instant::now();
+        let value = b();
+        best_b = best_b.min(start.elapsed().as_secs_f64() * 1e3);
+        out_b = Some(value);
+    }
+    (
+        (best_a, out_a.expect("at least one rep")),
+        (best_b, out_b.expect("at least one rep")),
+    )
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_des.json".to_string());
+
+    let (engine_ms, engine_reps, rep_sim_ms, rep_count, rep_reps) = if quick {
+        (5_000.0, 2, 1_000.0, 8, 2)
+    } else {
+        (60_000.0, 11, 5_000.0, 16, 5)
+    };
+    let threads = rayon::current_num_threads();
+    println!(
+        "bench_des: engine probe {engine_ms} ms x {engine_reps} reps, replication {rep_count} x {rep_sim_ms} ms, {threads} thread(s){}",
+        if quick { ", quick mode" } else { "" }
+    );
+
+    let sc = scenario();
+
+    // --- Engine: dense vs the pre-refactor map-based reference. ---
+    let sim = build_sim(&sc, engine_ms, 7);
+    let ((dense_ms, dense_result), (reference_ms, reference_result)) = time_min_pair(
+        engine_reps,
+        || {
+            sim.run(&sc.workloads, &sc.containers, &sc.priorities)
+                .expect("dense run")
+        },
+        || {
+            sim.run_reference(&sc.workloads, &sc.containers, &sc.priorities)
+                .expect("reference run")
+        },
+    );
+    assert!(
+        results_bit_identical(&dense_result, &reference_result),
+        "dense engine diverged from the map-based reference"
+    );
+    let events = dense_result.events;
+    let dense_eps = events as f64 / (dense_ms / 1e3).max(1e-9);
+    let reference_eps = events as f64 / (reference_ms / 1e3).max(1e-9);
+    let engine_speedup = dense_eps / reference_eps.max(1e-9);
+    println!(
+        "engine: {events} events — dense {dense_ms:.1} ms ({dense_eps:.0} ev/s), reference {reference_ms:.1} ms ({reference_eps:.0} ev/s), speedup {engine_speedup:.2}x (bit-identical)"
+    );
+
+    // --- Replication: parallel fan-out vs the serial loop. ---
+    let run_one = |seed: u64| {
+        build_sim(&sc, rep_sim_ms, seed)
+            .run(&sc.workloads, &sc.containers, &sc.priorities)
+            .expect("replication run")
+    };
+    let ((serial_ms, serial_out), (parallel_ms, parallel_out)) = time_min_pair(
+        rep_reps,
+        || replicate_serial(21, rep_count, |seed, _| run_one(seed)),
+        || replicate(21, rep_count, |seed, _| run_one(seed)),
+    );
+    assert_eq!(serial_out.len(), parallel_out.len());
+    for (i, (s, p)) in serial_out.iter().zip(&parallel_out).enumerate() {
+        assert!(
+            results_bit_identical(s, p),
+            "replication {i} diverged between serial and parallel"
+        );
+    }
+    let rep_speedup = serial_ms / parallel_ms.max(1e-9);
+    println!(
+        "replication: {rep_count} runs — serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms, speedup {rep_speedup:.2}x (bit-identical)"
+    );
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"engine\": {{\n    \"duration_ms\": {engine_ms},\n    \"events\": {events},\n    \"dense_wall_ms\": {dw},\n    \"reference_wall_ms\": {rw},\n    \"dense_events_per_sec\": {de},\n    \"reference_events_per_sec\": {re},\n    \"speedup\": {es},\n    \"bit_identical\": true\n  }},\n  \"replication\": {{\n    \"replications\": {rep_count},\n    \"sim_duration_ms\": {rep_sim_ms},\n    \"serial_wall_ms\": {sw},\n    \"parallel_wall_ms\": {pw},\n    \"speedup\": {rs},\n    \"bit_identical\": true\n  }}\n}}\n",
+        dw = json_f(dense_ms),
+        rw = json_f(reference_ms),
+        de = json_f(dense_eps),
+        re = json_f(reference_eps),
+        es = json_f(engine_speedup),
+        sw = json_f(serial_ms),
+        pw = json_f(parallel_ms),
+        rs = json_f(rep_speedup),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_des.json");
+    println!("wrote {out_path}");
+}

@@ -10,13 +10,19 @@
 //! Also includes the POP-partitioning ablation (whole-cluster vs grouped
 //! placement) called out in DESIGN.md.
 
+use std::collections::BTreeMap;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use erms_core::app::{RequestRate, WorkloadVector};
 use erms_core::latency::Interference;
 use erms_core::manager::ErmsScaler;
 use erms_core::provisioning::{provision, ClusterState, Host, PlacementPolicy};
 use erms_core::scaling::{own_workloads, plan_service, ScalerConfig};
+use erms_sim::runtime::{SimConfig, Simulation};
+use erms_sim::service_time::derive_from_profile;
+use erms_sim::{replicate, replicate_serial};
 use erms_trace::alibaba::{generate, AlibabaConfig};
+use erms_workload::apps::fig5_app;
 
 /// Latency Target Computation time vs dependency-graph size.
 fn bench_latency_target_computation(c: &mut Criterion) {
@@ -107,10 +113,64 @@ fn bench_provisioning(c: &mut Criterion) {
     group.finish();
 }
 
+/// Seeded DES replication fan-out: the parallel harness
+/// (`erms_sim::replicate`) against its serial reference loop, 8
+/// replications of a short Fig. 5 simulation each. On a multi-core host
+/// the parallel side approaches `min(8, cores)`× — on the 1-CPU CI runner
+/// both sides time the same work, pinning the harness overhead at ~zero.
+fn bench_des_replication(c: &mut Criterion) {
+    let (app, _, [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.3, 0.3);
+    let mut w = WorkloadVector::new();
+    w.set(s1, RequestRate::per_minute(30_000.0));
+    w.set(s2, RequestRate::per_minute(30_000.0));
+    let plan = ErmsScaler::new(&app).plan(&w, itf).expect("feasible plan");
+    let containers: BTreeMap<_, _> = app
+        .microservices()
+        .map(|(ms, _)| (ms, plan.containers(ms)))
+        .collect();
+    let mut priorities = BTreeMap::new();
+    for ms in app.shared_microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            priorities.insert(ms, order.to_vec());
+        }
+    }
+    let run_one = |seed: u64| {
+        let mut sim = Simulation::new(
+            &app,
+            SimConfig {
+                duration_ms: 2_000.0,
+                warmup_ms: 0.0,
+                seed,
+                trace_sampling: 0.0,
+                ..SimConfig::default()
+            },
+        );
+        for (ms, m) in app.microservices() {
+            let (model, threads) = derive_from_profile(&m.profile, itf, 0.75);
+            sim.set_service_time(ms, model);
+            sim.set_threads(ms, threads);
+        }
+        sim.set_uniform_interference(itf);
+        sim.run(&w, &containers, &priorities).expect("sim runs")
+    };
+
+    let mut group = c.benchmark_group("des_replication");
+    group.sample_size(10);
+    group.bench_function("serial_8", |b| {
+        b.iter(|| replicate_serial(21, 8, |seed, _| run_one(seed)))
+    });
+    group.bench_function("parallel_8", |b| {
+        b.iter(|| replicate(21, 8, |seed, _| run_one(seed)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_latency_target_computation,
     bench_online_scaling,
-    bench_provisioning
+    bench_provisioning,
+    bench_des_replication
 );
 criterion_main!(benches);

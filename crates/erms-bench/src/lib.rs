@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod replication;
 pub mod sweep;
 
 use erms_baselines::{Firm, GrandSlam, Rhythm};

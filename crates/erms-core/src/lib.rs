@@ -81,5 +81,6 @@ pub mod provisioning;
 pub mod resilience;
 pub mod resources;
 pub mod scaling;
+pub mod stats;
 
 pub use crate::error::{Error, Result};

@@ -1,5 +1,5 @@
 //! Regression quality metrics, including the profiling-accuracy metric of
-//! Fig. 10.
+//! Fig. 10. Shared numeric primitives come from [`erms_core::stats`].
 
 /// Profiling accuracy as reported in Fig. 10: `mean(max(0, 1 − |ŷ−y|/y))`
 /// over the test set (the "1 − MAPE" accuracy, clipped at zero per
@@ -62,7 +62,7 @@ pub fn r2(truth: &[f64], predictions: &[f64]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let mean = erms_core::stats::mean(truth);
     let ss_tot: f64 = truth.iter().map(|y| (y - mean).powi(2)).sum();
     let ss_res: f64 = truth
         .iter()

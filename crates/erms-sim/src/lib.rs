@@ -57,10 +57,14 @@
 #![warn(clippy::all)]
 
 pub mod faults;
+pub mod reference;
+pub mod replicate;
 pub mod runtime;
 pub mod service_time;
 pub mod stats;
+mod tables;
 
 pub use faults::{ClusterFault, ClusterFaultPlan, FaultPlan};
+pub use replicate::{replicate, replicate_serial, replication_seed};
 pub use runtime::{PercentileView, Scheduling, SimConfig, SimResult, Simulation};
 pub use service_time::ServiceTimeModel;

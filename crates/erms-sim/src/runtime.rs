@@ -7,6 +7,14 @@
 //! at each container is FCFS or the δ-probabilistic priority policy of
 //! §5.3.2. The simulator emits Jaeger-style spans (sampled) and raw
 //! per-microservice latency observations for the profiling pipeline.
+//!
+//! The engine keeps *dense* state: every per-event lookup — deployment,
+//! arrival rate, priority class, result row — is a `Vec` index on the
+//! dense `u32` ids (the internal `SimTables`), built once per run;
+//! the public [`SimResult`] map API is produced by one conversion at the
+//! end of `run()`. The pre-refactor map-based engine is kept verbatim in
+//! [`crate::reference`] and the golden-seed suite asserts both produce
+//! bit-identical results.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -24,6 +32,7 @@ use rand::SeedableRng;
 use crate::faults::FaultPlan;
 use crate::service_time::ServiceTimeModel;
 use crate::stats;
+use crate::tables::SimTables;
 
 /// Request scheduling policy at each container (§5.3.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,13 +93,13 @@ impl Default for SimConfig {
 /// A configured simulation bound to an application.
 #[derive(Debug, Clone)]
 pub struct Simulation<'a> {
-    app: &'a App,
-    config: SimConfig,
-    service_times: BTreeMap<MicroserviceId, ServiceTimeModel>,
-    threads: BTreeMap<MicroserviceId, usize>,
-    interference: BTreeMap<MicroserviceId, Interference>,
-    uniform_itf: Interference,
-    faults: FaultPlan,
+    pub(crate) app: &'a App,
+    pub(crate) config: SimConfig,
+    pub(crate) service_times: BTreeMap<MicroserviceId, ServiceTimeModel>,
+    pub(crate) threads: BTreeMap<MicroserviceId, usize>,
+    pub(crate) interference: BTreeMap<MicroserviceId, Interference>,
+    pub(crate) uniform_itf: Interference,
+    pub(crate) faults: FaultPlan,
 }
 
 impl<'a> Simulation<'a> {
@@ -168,12 +177,13 @@ impl<'a> Simulation<'a> {
         priorities: &BTreeMap<MicroserviceId, Vec<ServiceId>>,
     ) -> Result<SimResult> {
         self.validate(workloads, containers)?;
-        Ok(Engine::new(self, workloads, containers, priorities).run())
+        let tables = SimTables::build(self, workloads, priorities);
+        Ok(Engine::new(self, &tables, containers).run())
     }
 
     /// Checks everything user-supplied before the engine starts, so the
     /// event loop itself only ever sees internally-consistent state.
-    fn validate(
+    pub(crate) fn validate(
         &self,
         workloads: &WorkloadVector,
         containers: &BTreeMap<MicroserviceId, u32>,
@@ -402,16 +412,45 @@ struct EngineFault {
     losses: Vec<(MicroserviceId, u32)>,
 }
 
+/// Heap entries carry the event time pre-mapped to a totally-ordered
+/// `u64` key ([`time_key`]), so the hottest comparison site in the engine
+/// — every sift step of every heap push and pop — is a plain integer
+/// compare instead of `f64::total_cmp`'s per-comparison bit gymnastics.
 #[derive(Debug)]
 struct HeapItem {
-    time: f64,
+    time_key: u64,
     seq: u64,
     event: Event,
 }
 
+/// Maps a time to a `u64` whose integer order equals `f64::total_cmp`
+/// order: non-negative floats get the sign bit set (ascending above all
+/// negatives), negative floats are bit-flipped (descending magnitude).
+/// Applied once per push instead of once per comparison; [`key_time`]
+/// inverts it on pop.
+#[inline]
+fn time_key(time: f64) -> u64 {
+    let bits = time.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`time_key`].
+#[inline]
+fn key_time(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
 impl PartialEq for HeapItem {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time_key == other.time_key && self.seq == other.seq
     }
 }
 impl Eq for HeapItem {}
@@ -424,8 +463,8 @@ impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap on (time, seq).
         other
-            .time
-            .total_cmp(&self.time)
+            .time_key
+            .cmp(&self.time_key)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -440,10 +479,9 @@ struct Call {
     parent: Option<u32>,
     container: u32,
     arrive: f64,
-    service_end: f64,
     client_start: f64,
-    stage: usize,
-    pending: usize,
+    stage: u32,
+    pending: u32,
     root_start: f64,
     trace: Option<(TraceId, SpanId)>,
     in_use: bool,
@@ -457,6 +495,11 @@ struct Call {
 struct Container {
     busy: usize,
     queues: Vec<VecDeque<u32>>,
+    /// Calls currently holding one of this container's threads (their
+    /// `Done` event is in flight). At most `threads` entries, so a crash
+    /// voids in-service victims in O(threads) instead of scanning the
+    /// whole call arena.
+    in_service: Vec<u32>,
     /// Crashed mid-run: receives no further calls. Kept in place so
     /// container indices held by in-flight calls stay stable.
     failed: bool,
@@ -464,31 +507,56 @@ struct Container {
     available_from: f64,
 }
 
+/// Mutable per-deployment state, indexed by `MicroserviceId::index()`
+/// alongside the immutable [`SimTables`] entry of the same index.
 #[derive(Debug)]
-struct Deployment {
-    threads: usize,
-    class_of: BTreeMap<ServiceId, usize>,
-    n_classes: usize,
+struct DeploymentState {
     containers: Vec<Container>,
     rr: usize,
-    model: ServiceTimeModel,
-    itf: Interference,
 }
 
-struct Engine<'s, 'a> {
-    sim: &'s Simulation<'a>,
-    workloads: &'s WorkloadVector,
+struct Engine<'e> {
     heap: BinaryHeap<HeapItem>,
+    /// A held event known to precede everything in the heap (its
+    /// `(time_key, seq)` is strictly below the heap's minimum; keys are
+    /// unique, so it *is* the next event). The common case — a `Ready`
+    /// scheduled at the current instant — flows through this slot and
+    /// skips both heap sift chains. `push` keeps the invariant: a new
+    /// event either displaces the held one (the loser goes to the heap)
+    /// or goes to the heap itself.
+    pending: Option<HeapItem>,
     seq: u64,
+    /// Hot configuration scalars copied out of `sim` at setup, so the
+    /// event loop reads engine-local fields instead of chasing the
+    /// `&Simulation` reference per event.
+    max_events: u64,
+    duration_ms: f64,
+    warmup_ms: f64,
+    net_ms: f64,
+    drop_p: f64,
+    span_loss: f64,
+    deadline_ms: Option<f64>,
+    /// δ of priority scheduling; 0 under FCFS (where `pick_next` reduces
+    /// to strict front-of-queue order without consulting the RNG).
+    delta: f64,
     calls: Vec<Call>,
     free: Vec<u32>,
-    deployments: BTreeMap<MicroserviceId, Deployment>,
+    /// Immutable dense lookup tables (rates, threads, classes, samplers,
+    /// flattened graphs). Borrowed so handlers can copy the `&` out and
+    /// iterate table spans while mutating the rest of the engine.
+    tables: &'e SimTables,
+    /// Mutable deployment state by `MicroserviceId::index()`.
+    state: Vec<DeploymentState>,
     rng: rand::rngs::StdRng,
     store: TraceStore,
     next_trace: u64,
     next_span: u64,
-    result_latencies: BTreeMap<ServiceId, Vec<f64>>,
-    result_own: BTreeMap<MicroserviceId, Vec<(f64, f64, ServiceId)>>,
+    /// Latency samples by `ServiceId::index()`; converted to the public
+    /// map form (skipping untouched services) at the end of the run.
+    result_latencies: Vec<Vec<f64>>,
+    /// Own-latency rows by `MicroserviceId::index()`; converted like
+    /// `result_latencies`.
+    result_own: Vec<Vec<(f64, f64, ServiceId)>>,
     generated: u64,
     completed: u64,
     dropped: u64,
@@ -499,62 +567,37 @@ struct Engine<'s, 'a> {
     fault_schedule: Vec<EngineFault>,
 }
 
-impl<'s, 'a> Engine<'s, 'a> {
+impl<'e> Engine<'e> {
     fn new(
-        sim: &'s Simulation<'a>,
-        workloads: &'s WorkloadVector,
+        sim: &'e Simulation<'e>,
+        tables: &'e SimTables,
         containers: &BTreeMap<MicroserviceId, u32>,
-        priorities: &BTreeMap<MicroserviceId, Vec<ServiceId>>,
     ) -> Self {
-        let mut deployments = BTreeMap::new();
-        for (ms, _) in sim.app.microservices() {
-            let n = containers.get(&ms).copied().unwrap_or(0) as usize;
-            let (class_of, n_classes) = match (sim.config.scheduling, priorities.get(&ms)) {
-                (Scheduling::Priority { .. }, Some(order)) if !order.is_empty() => {
-                    let map: BTreeMap<ServiceId, usize> = order
-                        .iter()
-                        .enumerate()
-                        .map(|(rank, &svc)| (svc, rank))
-                        .collect();
-                    let classes = order.len() + 1; // +1 catch-all lowest class
-                    (map, classes)
-                }
-                _ => (BTreeMap::new(), 1),
-            };
-            let threads = sim
-                .threads
-                .get(&ms)
-                .copied()
-                .unwrap_or(sim.config.default_threads)
-                .max(1);
-            deployments.insert(
-                ms,
-                Deployment {
-                    threads,
-                    class_of,
-                    n_classes,
+        let state: Vec<DeploymentState> = sim
+            .app
+            .microservices()
+            .map(|(ms, _)| {
+                let n = containers.get(&ms).copied().unwrap_or(0) as usize;
+                let n_classes = tables.ms[ms.index()].n_classes;
+                DeploymentState {
                     containers: (0..n)
                         .map(|_| Container {
                             busy: 0,
                             queues: (0..n_classes).map(|_| VecDeque::new()).collect(),
+                            in_service: Vec::new(),
                             failed: false,
                             available_from: 0.0,
                         })
                         .collect(),
                     rr: 0,
-                    model: sim.service_times.get(&ms).copied().unwrap_or_default(),
-                    itf: sim
-                        .interference
-                        .get(&ms)
-                        .copied()
-                        .unwrap_or(sim.uniform_itf),
-                },
-            );
-        }
+                }
+            })
+            .collect();
+        let mut state = state;
         // Cold starts gate the *newest* containers of a deployment — the
         // ones a scale-up just added.
         for cold in &sim.faults.cold_starts {
-            if let Some(dep) = deployments.get_mut(&cold.ms) {
+            if let Some(dep) = state.get_mut(cold.ms.index()) {
                 let n = dep.containers.len();
                 let first = n.saturating_sub(cold.count as usize);
                 for container in &mut dep.containers[first..] {
@@ -585,20 +628,33 @@ impl<'s, 'a> Engine<'s, 'a> {
             )
             .collect();
         fault_schedule.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        let service_count = sim.app.service_count();
+        let ms_count = sim.app.microservice_count();
         Self {
-            sim,
-            workloads,
             heap: BinaryHeap::new(),
+            pending: None,
             seq: 0,
+            max_events: sim.config.max_events,
+            duration_ms: sim.config.duration_ms,
+            warmup_ms: sim.config.warmup_ms,
+            net_ms: sim.config.network_delay_ms,
+            drop_p: sim.faults.drop_probability,
+            span_loss: sim.faults.span_loss,
+            deadline_ms: sim.faults.deadline_ms,
+            delta: match sim.config.scheduling {
+                Scheduling::Priority { delta } => delta,
+                Scheduling::Fcfs => 0.0,
+            },
             calls: Vec::new(),
             free: Vec::new(),
-            deployments,
+            tables,
+            state,
             rng: rand::rngs::StdRng::seed_from_u64(sim.config.seed),
             store: TraceStore::with_sampling(sim.config.trace_sampling, sim.config.seed ^ 0xA5A5),
             next_trace: 1,
             next_span: 1,
-            result_latencies: BTreeMap::new(),
-            result_own: BTreeMap::new(),
+            result_latencies: vec![Vec::new(); service_count],
+            result_own: vec![Vec::new(); ms_count],
             generated: 0,
             completed: 0,
             dropped: 0,
@@ -612,11 +668,32 @@ impl<'s, 'a> Engine<'s, 'a> {
 
     fn push(&mut self, time: f64, event: Event) {
         self.seq += 1;
-        self.heap.push(HeapItem {
-            time,
+        let item = HeapItem {
+            time_key: time_key(time),
             seq: self.seq,
             event,
-        });
+        };
+        match &self.pending {
+            Some(p) => {
+                if (item.time_key, item.seq) < (p.time_key, p.seq) {
+                    let prev = self.pending.replace(item).expect("checked Some");
+                    self.heap.push(prev);
+                } else {
+                    self.heap.push(item);
+                }
+            }
+            None => {
+                let beats_heap = self
+                    .heap
+                    .peek()
+                    .is_none_or(|top| (item.time_key, item.seq) < (top.time_key, top.seq));
+                if beats_heap {
+                    self.pending = Some(item);
+                } else {
+                    self.heap.push(item);
+                }
+            }
+        }
     }
 
     fn alloc_call(&mut self, call: Call) -> u32 {
@@ -641,12 +718,14 @@ impl<'s, 'a> Engine<'s, 'a> {
     }
 
     fn run(mut self) -> SimResult {
-        // Seed one arrival per active service.
-        for (sid, rate) in self.workloads.iter() {
-            let lambda = rate.as_per_ms();
+        // Seed one arrival per active service. Index order equals the id
+        // order of the old `WorkloadVector` iteration, so RNG consumption
+        // matches the reference engine draw for draw.
+        for i in 0..self.tables.rate_per_ms.len() {
+            let lambda = self.tables.rate_per_ms[i];
             if lambda > 0.0 {
                 let dt = exp_sample(lambda, &mut self.rng);
-                self.push(dt, Event::Arrival(sid));
+                self.push(dt, Event::Arrival(ServiceId::new(i as u32)));
             }
         }
         for i in 0..self.fault_schedule.len() {
@@ -654,9 +733,13 @@ impl<'s, 'a> Engine<'s, 'a> {
             self.push(at, Event::Fault(i as u32));
         }
         let mut events = 0u64;
-        while let Some(HeapItem { time, event, .. }) = self.heap.pop() {
+        while let Some(HeapItem {
+            time_key, event, ..
+        }) = self.pending.take().or_else(|| self.heap.pop())
+        {
+            let time = key_time(time_key);
             events += 1;
-            if events > self.sim.config.max_events {
+            if events > self.max_events {
                 break;
             }
             match event {
@@ -666,9 +749,27 @@ impl<'s, 'a> Engine<'s, 'a> {
                 Event::Fault(i) => self.on_fault(i as usize),
             }
         }
+        // Densely-indexed result tables fold back into the public map API.
+        // Only touched indices become entries — the map-based engine
+        // created entries through `entry().or_default().push(..)`, so an
+        // entry existed exactly when at least one sample was recorded.
+        let service_latencies: BTreeMap<ServiceId, Vec<f64>> = self
+            .result_latencies
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (ServiceId::new(i as u32), v))
+            .collect();
+        let ms_own_latencies: BTreeMap<MicroserviceId, Vec<(f64, f64, ServiceId)>> = self
+            .result_own
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (MicroserviceId::new(i as u32), v))
+            .collect();
         SimResult {
-            service_latencies: self.result_latencies,
-            ms_own_latencies: self.result_own,
+            service_latencies,
+            ms_own_latencies,
             trace_store: self.store,
             generated: self.generated,
             completed: self.completed,
@@ -684,50 +785,46 @@ impl<'s, 'a> Engine<'s, 'a> {
     /// Fires one scheduled crash: mark containers failed, drain their
     /// queues and void their in-service calls. Crashing more containers
     /// than a deployment has degrades to losing them all.
+    ///
+    /// Victims are found through the per-container in-service lists, so a
+    /// fault costs O(victims) — independent of the size of the call arena.
+    /// The marking order (per container, in service-entry order) differs
+    /// from the old whole-arena scan's call-index order, but marking
+    /// consumes no randomness and only sets flags and counters, so results
+    /// are unchanged.
     fn on_fault(&mut self, index: usize) {
         // Each schedule entry fires exactly once (one `Fault` event pushed
         // in `run`), so taking the losses out avoids cloning the vector.
         let losses = std::mem::take(&mut self.fault_schedule[index].losses);
         for (ms, count) in losses {
-            let Some(dep) = self.deployments.get_mut(&ms) else {
+            let Some(dep) = self.state.get_mut(ms.index()) else {
                 continue;
             };
-            let mut to_fail = Vec::new();
-            for (c_idx, container) in dep.containers.iter_mut().enumerate() {
-                if to_fail.len() == count as usize {
+            let mut failed = 0u32;
+            let mut victims: Vec<u32> = Vec::new();
+            let mut in_service_victims: Vec<u32> = Vec::new();
+            for container in &mut dep.containers {
+                if failed == count {
                     break;
                 }
                 if container.failed {
                     continue;
                 }
                 container.failed = true;
-                to_fail.push(c_idx as u32);
-            }
-            self.crashed_containers += to_fail.len() as u64;
-            let mut victims: Vec<u32> = Vec::new();
-            for &c_idx in &to_fail {
-                let container = &mut self
-                    .deployments
-                    .get_mut(&ms)
-                    .expect("deployment exists")
-                    .containers[c_idx as usize];
+                failed += 1;
                 container.busy = 0;
                 for queue in &mut container.queues {
                     victims.extend(queue.drain(..));
                 }
+                in_service_victims.append(&mut container.in_service);
             }
+            self.crashed_containers += u64::from(failed);
             // Queued victims unwind immediately; in-service victims keep
             // their pending `Done` event, which `on_done` voids via the
             // `killed` flag.
-            for call in &mut self.calls {
-                if call.in_use
-                    && call.in_service
-                    && call.ms == ms
-                    && to_fail.contains(&call.container)
-                {
-                    call.killed = true;
-                    self.crash_violations += 1;
-                }
+            for idx in in_service_victims {
+                self.calls[idx as usize].killed = true;
+                self.crash_violations += 1;
             }
             for idx in victims {
                 self.crash_violations += 1;
@@ -738,25 +835,24 @@ impl<'s, 'a> Engine<'s, 'a> {
 
     fn on_arrival(&mut self, sid: ServiceId, time: f64) {
         // Schedule the next arrival while inside the horizon.
-        let lambda = self.workloads.rate(sid).as_per_ms();
+        let lambda = self.tables.rate_per_ms[sid.index()];
         if lambda > 0.0 {
             let next = time + exp_sample(lambda, &mut self.rng);
-            if next <= self.sim.config.duration_ms {
+            if next <= self.duration_ms {
                 self.push(next, Event::Arrival(sid));
             }
         }
         self.generated += 1;
         // Front-door drop (load-balancer error). The RNG is only consulted
         // when the fault is armed, so an empty plan stays bit-identical.
-        let drop_p = self.sim.faults.drop_probability;
+        let drop_p = self.drop_p;
         if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
             self.dropped += 1;
             return;
         }
         // `validate` established the service exists.
-        let svc = self.sim.app.service(sid).expect("validated service");
-        let root_node = svc.graph.root();
-        let ms = svc.graph.node(root_node).microservice;
+        let st = &self.tables.services[sid.index()];
+        let (root_node, ms) = (st.root_node, st.root_ms);
         let trace = {
             let trace_id = TraceId(self.next_trace);
             self.next_trace += 1;
@@ -774,7 +870,6 @@ impl<'s, 'a> Engine<'s, 'a> {
             parent: None,
             container: 0,
             arrive: time,
-            service_end: 0.0,
             client_start: time,
             stage: 0,
             pending: 0,
@@ -792,19 +887,23 @@ impl<'s, 'a> Engine<'s, 'a> {
             let call = &self.calls[idx as usize];
             (call.ms, call.service)
         };
-        let Some(dep) = self.deployments.get_mut(&ms) else {
-            self.dropped += 1;
-            self.abandon(idx);
-            return;
-        };
+        let mi = ms.index();
         // Round-robin container choice over live containers; crashed ones
         // stay in the vec (indices held by in-flight calls must remain
         // stable) but receive nothing.
+        let dep = &mut self.state[mi];
         let n = dep.containers.len();
         let mut c_idx = None;
-        for step in 1..=n {
-            let cand = (dep.rr + step) % n.max(1);
-            if n > 0 && !dep.containers[cand].failed {
+        // Conditional wrap instead of `%`: `rr < n` always holds, so each
+        // candidate stays in range — same visiting order, no division on
+        // the hot path.
+        let mut cand = dep.rr;
+        for _ in 0..n {
+            cand += 1;
+            if cand >= n {
+                cand = 0;
+            }
+            if !dep.containers[cand].failed {
                 c_idx = Some(cand);
                 break;
             }
@@ -818,59 +917,67 @@ impl<'s, 'a> Engine<'s, 'a> {
             return;
         };
         dep.rr = c_idx;
-        self.calls[idx as usize].container = c_idx as u32;
-        self.calls[idx as usize].arrive = time;
-        let threads = dep.threads;
-        let class = dep
-            .class_of
-            .get(&service)
-            .copied()
-            .unwrap_or(dep.n_classes - 1);
-        let container = &mut dep.containers[c_idx];
+        {
+            let call = &mut self.calls[idx as usize];
+            call.container = c_idx as u32;
+            call.arrive = time;
+        }
+        let table = &self.tables.ms[mi];
+        let threads = table.threads;
+        let sampler = table.sampler;
+        let container = &mut self.state[mi].containers[c_idx];
         if container.busy < threads {
             container.busy += 1;
+            container.in_service.push(idx);
             // A cold container accepts work but cannot process it before
             // its start-up completes.
             let start = time.max(container.available_from);
-            let dt = dep.model.sample(dep.itf, &mut self.rng);
+            let dt = sampler.sample(&mut self.rng);
             self.calls[idx as usize].in_service = true;
             self.push(start + dt, Event::Done(idx));
         } else {
-            container.queues[class].push_back(idx);
+            // The class table is only consulted on the enqueue path; a
+            // free thread serves regardless of priority.
+            container.queues[table.class(service)].push_back(idx);
         }
     }
 
     fn on_done(&mut self, idx: u32, time: f64) {
-        // The serving container crashed while this call held a thread: the
-        // crash already counted the violation and reset the container's
-        // bookkeeping, so the finished work is simply void.
-        if self.calls[idx as usize].killed {
-            self.abandon(idx);
-            return;
-        }
-        self.calls[idx as usize].in_service = false;
-        // Free the thread and start the next queued call, if any.
-        let (ms, container_idx) = {
-            let call = &self.calls[idx as usize];
-            (call.ms, call.container as usize)
+        // One borrow covers the killed check, the in-service reset and the
+        // routing reads — three separate index operations otherwise.
+        let (ms, container_idx, arrive, service) = {
+            let call = &mut self.calls[idx as usize];
+            // The serving container crashed while this call held a thread:
+            // the crash already counted the violation and reset the
+            // container's bookkeeping, so the finished work is simply void.
+            if call.killed {
+                self.abandon(idx);
+                return;
+            }
+            call.in_service = false;
+            (call.ms, call.container as usize, call.arrive, call.service)
         };
+        let mi = ms.index();
+        let sampler = self.tables.ms[mi].sampler;
         let next_start = {
-            let dep = self.deployments.get_mut(&ms).expect("deployment exists");
-            let delta = match self.sim.config.scheduling {
-                Scheduling::Priority { delta } => delta,
-                Scheduling::Fcfs => 0.0,
-            };
-            let container = &mut dep.containers[container_idx];
+            let delta = self.delta;
+            let container = &mut self.state[mi].containers[container_idx];
             if container.failed {
                 // Defensive: a crash voids in-service calls via `killed`
                 // above, so a live call on a failed container cannot reach
                 // here; never touch a dead container's bookkeeping.
                 None
             } else {
+                // This call leaves service: drop it from the container's
+                // in-service index (at most `threads` entries).
+                if let Some(pos) = container.in_service.iter().position(|&c| c == idx) {
+                    container.in_service.swap_remove(pos);
+                }
                 let picked = pick_next(&mut container.queues, delta, &mut self.rng);
                 match picked {
                     Some(next) => {
-                        let dt = dep.model.sample(dep.itf, &mut self.rng);
+                        container.in_service.push(next);
+                        let dt = sampler.sample(&mut self.rng);
                         Some((next, dt))
                     }
                     None => {
@@ -886,14 +993,8 @@ impl<'s, 'a> Engine<'s, 'a> {
         }
 
         // Record own latency (queueing + processing).
-        {
-            let call = &mut self.calls[idx as usize];
-            call.service_end = time;
-            let own = time - call.arrive;
-            let (at, svc) = (call.arrive, call.service);
-            if at >= self.sim.config.warmup_ms {
-                self.result_own.entry(ms).or_default().push((at, own, svc));
-            }
+        if arrive >= self.warmup_ms {
+            self.result_own[mi].push((arrive, time - arrive, service));
         }
 
         // Fan out the first stage, or complete immediately.
@@ -903,33 +1004,35 @@ impl<'s, 'a> Engine<'s, 'a> {
     /// Starts stage `stage` of `idx`'s node, or completes the call when all
     /// stages are done.
     fn advance_stages(&mut self, idx: u32, time: f64, stage: usize) {
-        let (service, node_id) = {
+        let (service, node_id, trace, root_start) = {
             let call = &self.calls[idx as usize];
-            (call.service, call.node)
+            (call.service, call.node, call.trace, call.root_start)
         };
-        // Invariant, not user-reachable: calls are only created for
-        // services that passed `validate`.
-        //
-        // Copying the `&Simulation` out of `self` decouples the graph
-        // borrow from the `&mut self` calls below, so the stage's child
-        // list is iterated in place instead of cloned per event.
-        let sim = self.sim;
-        let svc = sim.app.service(service).expect("validated service");
-        let node = svc.graph.node(node_id);
-        if stage >= node.stages.len() {
+        // Copying the `&SimTables` out of `self` decouples the flattened
+        // graph borrow from the `&mut self` calls below, so the stage's
+        // child span is iterated in place instead of cloned per event.
+        let tables = self.tables;
+        let st = &tables.services[service.index()];
+        let (stages_start, stages_count) = st.node_stages[node_id.index()];
+        if stage >= stages_count as usize {
             self.complete(idx, time);
             return;
         }
         let mut spawned = 0usize;
-        let net = sim.config.network_delay_ms;
-        for &child_node in &node.stages[stage] {
-            let copies = self.multiplicity_copies(svc, child_node);
+        let net = self.net_ms;
+        let (children_start, children_count) = st.stage_spans[stages_start as usize + stage];
+        let child_span = children_start as usize..(children_start + children_count) as usize;
+        for &child_node in &st.children[child_span] {
+            // Fractional multiplicities spawn the extra copy
+            // probabilistically; the RNG is consulted only when the
+            // fractional part is non-zero.
+            let ci = child_node.index();
+            let frac = st.node_frac[ci];
+            let copies =
+                st.node_whole[ci] as usize + usize::from(frac > 0.0 && self.rng.gen_bool(frac));
             for _ in 0..copies {
-                let child_ms = svc.graph.node(child_node).microservice;
-                let trace = self.calls[idx as usize]
-                    .trace
-                    .map(|(trace_id, _)| (trace_id, self.next_span_id()));
-                let root_start = self.calls[idx as usize].root_start;
+                let child_ms = st.node_ms[ci];
+                let trace = trace.map(|(trace_id, _)| (trace_id, self.next_span_id()));
                 let child = self.alloc_call(Call {
                     service,
                     node: child_node,
@@ -937,7 +1040,6 @@ impl<'s, 'a> Engine<'s, 'a> {
                     parent: Some(idx),
                     container: 0,
                     arrive: time + net,
-                    service_end: 0.0,
                     client_start: time,
                     stage: 0,
                     pending: 0,
@@ -958,25 +1060,23 @@ impl<'s, 'a> Engine<'s, 'a> {
             return;
         }
         let call = &mut self.calls[idx as usize];
-        call.stage = stage;
-        call.pending = spawned;
-    }
-
-    /// Number of copies of a child call, honouring fractional
-    /// multiplicities probabilistically.
-    fn multiplicity_copies(&mut self, svc: &erms_core::app::Service, node: NodeId) -> usize {
-        let m = svc.graph.node(node).multiplicity;
-        let whole = m.floor() as usize;
-        let frac = m - m.floor();
-        whole + usize::from(frac > 0.0 && self.rng.gen_bool(frac.clamp(0.0, 1.0)))
+        call.stage = stage as u32;
+        call.pending = spawned as u32;
     }
 
     /// A call finished all its stages: emit spans, notify the parent or
     /// finish the request.
     fn complete(&mut self, idx: u32, time: f64) {
-        let call = self.calls[idx as usize];
+        // Only the routing scalars are read on the hot (untraced) path;
+        // span emission re-reads the full call in its own (rare) branch
+        // instead of copying the whole struct per completion.
+        let (trace, parent, root_start, service) = {
+            let call = &self.calls[idx as usize];
+            (call.trace, call.parent, call.root_start, call.service)
+        };
         // Server span: arrival at this microservice to response sent.
-        if let Some((trace_id, span_id)) = call.trace {
+        if let Some((trace_id, span_id)) = trace {
+            let call = self.calls[idx as usize];
             let parent_span = call
                 .parent
                 .and_then(|p| self.calls[p as usize].trace.map(|(_, s)| s));
@@ -992,27 +1092,19 @@ impl<'s, 'a> Engine<'s, 'a> {
             };
             self.record_span(span);
         }
-        let net = self.sim.config.network_delay_ms;
-        match call.parent {
+        let net = self.net_ms;
+        match parent {
             None => {
                 // End-to-end completion — unless the client already gave
                 // up (deadline exceeded): then it is a timeout, invisible
                 // to the latency percentiles.
-                let e2e = time - call.root_start;
-                if self
-                    .sim
-                    .faults
-                    .deadline_ms
-                    .is_some_and(|deadline| e2e > deadline)
-                {
+                let e2e = time - root_start;
+                if self.deadline_ms.is_some_and(|deadline| e2e > deadline) {
                     self.timed_out += 1;
                 } else {
                     self.completed += 1;
-                    if call.root_start >= self.sim.config.warmup_ms {
-                        self.result_latencies
-                            .entry(call.service)
-                            .or_default()
-                            .push(e2e);
+                    if root_start >= self.warmup_ms {
+                        self.result_latencies[service.index()].push(e2e);
                     }
                 }
                 self.release_call(idx);
@@ -1020,8 +1112,9 @@ impl<'s, 'a> Engine<'s, 'a> {
             Some(parent) => {
                 // Client span at the parent side.
                 if let (Some((trace_id, _)), Some((_, parent_server))) =
-                    (call.trace, self.calls[parent as usize].trace)
+                    (trace, self.calls[parent as usize].trace)
                 {
+                    let call = self.calls[idx as usize];
                     let client_span = self.next_span_id();
                     let span = Span {
                         trace_id,
@@ -1039,7 +1132,7 @@ impl<'s, 'a> Engine<'s, 'a> {
                 let parent_call = &mut self.calls[parent as usize];
                 debug_assert!(parent_call.in_use);
                 parent_call.pending -= 1;
-                let next_stage = parent_call.stage + 1;
+                let next_stage = parent_call.stage as usize + 1;
                 if parent_call.pending == 0 {
                     self.advance_stages(parent, time + net, next_stage);
                 }
@@ -1050,7 +1143,7 @@ impl<'s, 'a> Engine<'s, 'a> {
     /// Records a span unless the fault plan loses it on the way to the
     /// collector. The RNG is only consulted when span loss is armed.
     fn record_span(&mut self, span: Span) {
-        let loss = self.sim.faults.span_loss;
+        let loss = self.span_loss;
         if loss > 0.0 && self.rng.gen_bool(loss) {
             self.lost_spans += 1;
         } else {
@@ -1392,6 +1485,50 @@ mod tests {
         assert!(result.timed_out > 0, "deadline violations");
         let frac = result.dropped as f64 / result.generated as f64;
         assert!((frac - 0.2).abs() < 0.05, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn crashing_an_idle_deployment_costs_only_its_victims() {
+        // Regression test for the fault handler's victim scan: the old
+        // engine walked the entire call arena on every crash, so killing
+        // an idle deployment cost O(live calls). The engine now keeps a
+        // per-container in-service index and must find exactly zero
+        // victims here without touching the (large) population of calls
+        // queued on the busy deployments.
+        let mut b = AppBuilder::new("idle-crash");
+        let a = b.microservice("a", LatencyProfile::linear(0.01, 2.0), Resources::default());
+        let c = b.microservice("c", LatencyProfile::linear(0.01, 2.0), Resources::default());
+        let idle = b.microservice(
+            "idle",
+            LatencyProfile::linear(0.01, 2.0),
+            Resources::default(),
+        );
+        let s = b.service("s", Sla::p95_ms(100.0), |g| {
+            let root = g.entry(a);
+            g.call_seq(root, c);
+        });
+        let _idle_svc = b.service("s-idle", Sla::p95_ms(100.0), |g| {
+            g.entry(idle);
+        });
+        let app = b.build().unwrap();
+        let mut config = quick_config();
+        config.default_threads = 1;
+        let mut sim = Simulation::new(&app, config);
+        sim.set_service_time(a, ServiceTimeModel::new(2.0, 0.3, 0.0, 0.0));
+        sim.set_service_time(c, ServiceTimeModel::new(2.0, 0.3, 0.0, 0.0));
+        sim.set_fault_plan(FaultPlan::new().crash(idle, 15_000.0, 2));
+        // Heavy traffic on s keeps many calls live in the arena; s-idle
+        // gets no workload, so idle's containers hold nothing to disrupt.
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(48_000.0));
+        let cs = containers(&[(a, 4), (c, 4), (idle, 2)]);
+        let result = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
+        assert_eq!(result.crashed_containers, 2, "both idle containers die");
+        assert_eq!(
+            result.crash_violations, 0,
+            "an idle crash must not claim victims from other deployments"
+        );
+        assert!(result.completed > 0, "the busy service is unaffected");
     }
 
     #[test]

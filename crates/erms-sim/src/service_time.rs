@@ -71,12 +71,103 @@ impl Default for ServiceTimeModel {
     }
 }
 
-/// Standard normal via Box–Muller (the `rand` crate alone has no normal
-/// distribution; `rand_distr` is intentionally not a dependency).
+/// Standard normal via the Marsaglia–Tsang ziggurat (the `rand` crate
+/// alone has no normal distribution; `rand_distr` is intentionally not a
+/// dependency).
+///
+/// Service-time sampling is one of the largest per-event costs of the
+/// simulator's inner loop, and Box–Muller pays a logarithm and a cosine
+/// per draw. The ziggurat covers the density with 128 horizontal strips
+/// whose boundaries are precomputed once ([`ZIG`]): ~98.8% of draws take
+/// one 64-bit RNG word, a table compare and one multiply, touching no
+/// transcendental at all; the remainder fall through to an exact
+/// edge/tail rejection step, so the sampled distribution is still the
+/// exact standard normal. Every draw is a pure function of the RNG
+/// stream, preserving the seeded determinism the engine relies on.
 pub fn standard_normal(rng: &mut impl Rng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    let zig = ZIG.get_or_init(ZigTables::build);
+    loop {
+        // One word supplies the layer index (low 7 bits), the sign (bit
+        // 7) and a 52-bit uniform magnitude (the top bits — 52 so the
+        // integer is exactly representable in an f64).
+        let word = rng.gen::<u64>();
+        let iz = (word & 127) as usize;
+        let neg = word & 128 != 0;
+        let mag = word >> 12;
+        if mag < zig.kn[iz] {
+            // The sample lies strictly inside layer `iz`: accept.
+            let x = mag as f64 * zig.wn[iz];
+            return if neg { -x } else { x };
+        }
+        if iz == 0 {
+            // Base strip beyond R: Marsaglia's exact exponential-majorant
+            // rejection, returning a draw from the normal tail.
+            loop {
+                let e1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let e2: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let tx = -e1.ln() / ZIG_R;
+                let ty = -e2.ln();
+                if ty + ty > tx * tx {
+                    return if neg { -(ZIG_R + tx) } else { ZIG_R + tx };
+                }
+            }
+        }
+        // Wedge between the layer's rectangle and the curve: accept
+        // against the exact density.
+        let x = mag as f64 * zig.wn[iz];
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        if zig.fx[iz] + u * (zig.fx[iz - 1] - zig.fx[iz]) < (-0.5 * x * x).exp() {
+            return if neg { -x } else { x };
+        }
+    }
+}
+
+/// Right edge of the ziggurat's base layer for the 128-strip normal
+/// ziggurat (Marsaglia & Tsang, 2000).
+const ZIG_R: f64 = 3.442619855899;
+/// Area of each strip (the base strip includes the tail mass).
+const ZIG_V: f64 = 9.91256303526217e-3;
+
+/// Precomputed ziggurat strip tables; built once on first use.
+struct ZigTables {
+    /// Acceptance threshold per layer, against the 52-bit magnitude.
+    kn: [u64; 128],
+    /// Scale from the 52-bit magnitude to `x` per layer.
+    wn: [f64; 128],
+    /// Density at each layer boundary.
+    fx: [f64; 128],
+}
+
+static ZIG: std::sync::OnceLock<ZigTables> = std::sync::OnceLock::new();
+
+impl ZigTables {
+    /// The table recurrence of Marsaglia & Tsang's `zigset`, with the
+    /// integer scale `m` adapted from their 32-bit draws to this module's
+    /// 52-bit magnitudes.
+    fn build() -> Self {
+        let m = (1u64 << 52) as f64;
+        let f = |x: f64| (-0.5 * x * x).exp();
+        let mut kn = [0u64; 128];
+        let mut wn = [0.0; 128];
+        let mut fx = [0.0; 128];
+        let mut dn = ZIG_R;
+        let mut tn = dn;
+        let q = ZIG_V / f(dn);
+        kn[0] = ((dn / q) * m) as u64;
+        kn[1] = 0;
+        wn[0] = q / m;
+        wn[127] = dn / m;
+        fx[0] = 1.0;
+        fx[127] = f(dn);
+        for i in (1..=126).rev() {
+            dn = (-2.0 * (ZIG_V / dn + f(dn)).ln()).sqrt();
+            kn[i + 1] = ((dn / tn) * m) as u64;
+            tn = dn;
+            fx[i] = f(dn);
+            wn[i] = dn / m;
+        }
+        Self { kn, wn, fx }
+    }
 }
 
 /// Derives an approximate service-time model and thread count from a

@@ -1,0 +1,239 @@
+//! Dense per-index lookup tables for the DES engine.
+//!
+//! `MicroserviceId` and `ServiceId` are dense `u32` indices assigned from
+//! zero by the app builders (`erms-core/src/ids.rs`), so every per-event
+//! `BTreeMap` lookup in the old engine was an O(log n) walk to find a slot
+//! a `Vec` index reaches directly. [`SimTables`] is built once per run
+//! from the [`Simulation`](crate::runtime::Simulation) configuration and
+//! the `App`, and holds everything immutable the event loop reads:
+//!
+//! * per-service arrival rates (one `f64` per `ServiceId`);
+//! * per-microservice thread counts, priority-class tables and
+//!   pre-parameterised service-time samplers.
+//!
+//! The lognormal service-time parameters (σ² = ln(1+CV²),
+//! μ = ln(mean) − σ²/2, and √σ²) are constants of a deployment, so
+//! [`ServiceTimeSampler`] computes them here once instead of twice per
+//! sample — with the identical floating-point operation order, so samples
+//! stay bit-for-bit equal to
+//! [`ServiceTimeModel::sample`](crate::service_time::ServiceTimeModel::sample).
+
+use erms_core::app::{Service, WorkloadVector};
+use erms_core::ids::{MicroserviceId, NodeId, ServiceId};
+use rand::Rng;
+
+use crate::runtime::{Scheduling, Simulation};
+use crate::service_time::{standard_normal, ServiceTimeModel};
+
+/// A lognormal service-time sampler with its parameters precomputed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServiceTimeSampler {
+    mean: f64,
+    mu: f64,
+    sqrt_sigma2: f64,
+    stochastic: bool,
+}
+
+impl ServiceTimeSampler {
+    /// Parameterises the sampler for one deployment: the model under its
+    /// containers' interference level. Uses the exact floating-point
+    /// expressions of `ServiceTimeModel::sample` so the precomputed path
+    /// produces bit-identical draws.
+    pub(crate) fn new(model: ServiceTimeModel, itf: erms_core::latency::Interference) -> Self {
+        let mean = model.mean_ms(itf);
+        if model.cv <= 1e-9 {
+            return Self {
+                mean,
+                mu: 0.0,
+                sqrt_sigma2: 0.0,
+                stochastic: false,
+            };
+        }
+        let sigma2 = (1.0 + model.cv * model.cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self {
+            mean,
+            mu,
+            sqrt_sigma2: sigma2.sqrt(),
+            stochastic: true,
+        }
+    }
+
+    /// Draws one service time.
+    #[inline]
+    pub(crate) fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if !self.stochastic {
+            return self.mean;
+        }
+        (self.mu + self.sqrt_sigma2 * standard_normal(rng)).exp()
+    }
+}
+
+/// Immutable per-microservice configuration, indexed by
+/// `MicroserviceId::index()`.
+#[derive(Debug, Clone)]
+pub(crate) struct MsTable {
+    /// Threads per container.
+    pub(crate) threads: usize,
+    /// Number of priority classes (1 = FCFS / no priorities here).
+    pub(crate) n_classes: usize,
+    /// Priority class per `ServiceId::index()`; empty when `n_classes`
+    /// is 1 (every service is class 0). Services outside the priority
+    /// order fall in the catch-all lowest class `n_classes - 1`.
+    pub(crate) class_of: Vec<usize>,
+    /// Pre-parameterised service-time sampler at this deployment's
+    /// interference.
+    pub(crate) sampler: ServiceTimeSampler,
+}
+
+impl MsTable {
+    /// The priority class of a service at this microservice.
+    #[inline]
+    pub(crate) fn class(&self, service: ServiceId) -> usize {
+        if self.n_classes == 1 {
+            0
+        } else {
+            self.class_of[service.index()]
+        }
+    }
+}
+
+/// Flattened per-service dependency-graph tables, indexed by
+/// `NodeId::index()`. The engine's stage fan-out walks these dense arrays
+/// instead of chasing `App → Service → DependencyGraph → Node` pointers
+/// on every completion event.
+#[derive(Debug, Clone)]
+pub(crate) struct ServiceTable {
+    /// Root node of the service's graph.
+    pub(crate) root_node: NodeId,
+    /// Microservice of the root node.
+    pub(crate) root_ms: MicroserviceId,
+    /// Microservice per node.
+    pub(crate) node_ms: Vec<MicroserviceId>,
+    /// Whole part of each node's call multiplicity.
+    pub(crate) node_whole: Vec<u32>,
+    /// Fractional part of each node's multiplicity, pre-clamped to
+    /// `[0, 1]` exactly as the per-event computation clamped it; `0.0`
+    /// for integral multiplicities (no RNG draw).
+    pub(crate) node_frac: Vec<f64>,
+    /// Per node: `(start, count)` span of its stages in `stage_spans`.
+    pub(crate) node_stages: Vec<(u32, u32)>,
+    /// Per stage: `(start, count)` span of its children in `children`.
+    pub(crate) stage_spans: Vec<(u32, u32)>,
+    /// Child node ids, flattened stage by stage.
+    pub(crate) children: Vec<NodeId>,
+}
+
+impl ServiceTable {
+    fn build(svc: &Service) -> Self {
+        let graph = &svc.graph;
+        let n = graph.len();
+        let mut node_ms = vec![MicroserviceId::new(0); n];
+        let mut node_whole = vec![0u32; n];
+        let mut node_frac = vec![0.0f64; n];
+        let mut node_stages = vec![(0u32, 0u32); n];
+        let mut stage_spans = Vec::new();
+        let mut children = Vec::new();
+        for (id, node) in graph.iter() {
+            let i = id.index();
+            node_ms[i] = node.microservice;
+            let m = node.multiplicity;
+            node_whole[i] = m.floor() as u32;
+            node_frac[i] = (m - m.floor()).clamp(0.0, 1.0);
+            node_stages[i] = (stage_spans.len() as u32, node.stages.len() as u32);
+            for stage in &node.stages {
+                stage_spans.push((children.len() as u32, stage.len() as u32));
+                children.extend(stage.iter().copied());
+            }
+        }
+        let root_node = graph.root();
+        Self {
+            root_node,
+            root_ms: node_ms[root_node.index()],
+            node_ms,
+            node_whole,
+            node_frac,
+            node_stages,
+            stage_spans,
+            children,
+        }
+    }
+}
+
+/// All immutable lookup tables of one run, laid out densely by id index.
+#[derive(Debug, Clone)]
+pub(crate) struct SimTables {
+    /// Arrival rate per `ServiceId::index()`, requests per ms.
+    pub(crate) rate_per_ms: Vec<f64>,
+    /// Per-microservice configuration by `MicroserviceId::index()`.
+    pub(crate) ms: Vec<MsTable>,
+    /// Flattened dependency graphs by `ServiceId::index()`.
+    pub(crate) services: Vec<ServiceTable>,
+}
+
+impl SimTables {
+    /// Builds the tables from a validated simulation configuration.
+    pub(crate) fn build(
+        sim: &Simulation<'_>,
+        workloads: &WorkloadVector,
+        priorities: &std::collections::BTreeMap<MicroserviceId, Vec<ServiceId>>,
+    ) -> Self {
+        let service_count = sim.app.service_count();
+        let mut rate_per_ms = vec![0.0; service_count];
+        for (sid, rate) in workloads.iter() {
+            rate_per_ms[sid.index()] = rate.as_per_ms();
+        }
+        let ms = sim
+            .app
+            .microservices()
+            .map(|(ms_id, _)| {
+                let (class_of, n_classes) = match (sim.config.scheduling, priorities.get(&ms_id)) {
+                    (Scheduling::Priority { .. }, Some(order)) if !order.is_empty() => {
+                        // +1 catch-all lowest class for services outside
+                        // the priority order.
+                        let n_classes = order.len() + 1;
+                        let mut class_of = vec![n_classes - 1; service_count];
+                        for (rank, &svc) in order.iter().enumerate() {
+                            // Ids outside the app (never matched by any
+                            // call) are ignored, as the map-based lookup
+                            // ignored them.
+                            if svc.index() < service_count {
+                                class_of[svc.index()] = rank;
+                            }
+                        }
+                        (class_of, n_classes)
+                    }
+                    _ => (Vec::new(), 1),
+                };
+                let threads = sim
+                    .threads
+                    .get(&ms_id)
+                    .copied()
+                    .unwrap_or(sim.config.default_threads)
+                    .max(1);
+                let model = sim.service_times.get(&ms_id).copied().unwrap_or_default();
+                let itf = sim
+                    .interference
+                    .get(&ms_id)
+                    .copied()
+                    .unwrap_or(sim.uniform_itf);
+                MsTable {
+                    threads,
+                    n_classes,
+                    class_of,
+                    sampler: ServiceTimeSampler::new(model, itf),
+                }
+            })
+            .collect();
+        let services = sim
+            .app
+            .services()
+            .map(|(_, svc)| ServiceTable::build(svc))
+            .collect();
+        Self {
+            rate_per_ms,
+            ms,
+            services,
+        }
+    }
+}

@@ -35,13 +35,13 @@ pub struct MinuteObservation {
 }
 
 /// The percentile of a mutable sample slice (nearest-rank).
+///
+/// Delegates to the shared [`erms_core::stats`] quantile definition; the
+/// slice is left sorted ascending as before, so callers may issue
+/// follow-up `_sorted` queries on it.
 pub fn percentile(values: &mut [f64], p: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((p.clamp(0.0, 1.0) * values.len() as f64).ceil() as usize).max(1) - 1;
-    values[rank.min(values.len() - 1)]
+    erms_core::stats::sort_samples(values);
+    erms_core::stats::percentile_sorted(values, p)
 }
 
 /// Aggregates raw latency observations into per-minute samples, given the

@@ -12,6 +12,7 @@
 use erms::core::prelude::*;
 use erms::core::resilience::{ResilienceConfig, ResilientManager};
 use erms::sim::faults::{ClusterFault, ClusterFaultPlan};
+use erms::sim::{replicate, replicate_serial};
 use proptest::prelude::*;
 
 /// Rounds allowed for recovery after the last fault (acceptance K).
@@ -185,6 +186,46 @@ fn capacity_crunch_sheds_demand_and_recovers_when_host_returns() {
     assert!(
         saw_degraded,
         "the capacity crunch must register as degraded"
+    );
+}
+
+/// One seeded run of the random-fault controller loop, reduced to the
+/// per-round audit trail the replication sweep compares: faults injected,
+/// applied container totals and degraded flags.
+fn fault_schedule_trail(seed: u64) -> Vec<(usize, u64, bool)> {
+    let app = two_service_app(300.0, 600.0);
+    let faults = ClusterFaultPlan::random(seed, &app, 10, 0.5);
+    let mut state = ClusterState::paper_cluster();
+    let mut mgr = ResilientManager::new(ResilienceConfig::default());
+    let w = WorkloadVector::uniform(&app, RequestRate::per_minute(20_000.0));
+    let mut trail = Vec::new();
+    for round in 1..=10u64 {
+        let injected = faults.apply(round, &mut state, &app);
+        let outcome = mgr.run_round(&app, &mut state, &w);
+        trail.push((
+            injected,
+            outcome
+                .plan
+                .as_ref()
+                .map_or(0, ScalingPlan::total_containers),
+            outcome.report.degraded(),
+        ));
+    }
+    trail
+}
+
+/// The fault-tolerance seed sweep runs through the parallel replication
+/// harness: N independently seeded controller histories, fanned out with
+/// `erms::sim::replicate`, must be bit-identical to the serial loop — the
+/// controller's recovery behaviour is a pure function of its fault seed.
+#[test]
+fn random_fault_seed_sweep_replicates_deterministically() {
+    let parallel = replicate(97, 12, |seed, _| fault_schedule_trail(seed));
+    let serial = replicate_serial(97, 12, |seed, _| fault_schedule_trail(seed));
+    assert_eq!(parallel, serial);
+    assert!(
+        parallel.windows(2).any(|w| w[0] != w[1]),
+        "distinct fault seeds should produce distinct controller histories"
     );
 }
 
