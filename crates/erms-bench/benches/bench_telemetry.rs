@@ -1,0 +1,287 @@
+//! Telemetry pipeline perf harness: measures what observability *costs*
+//! the dense DES engine — events/sec with the span sink disabled
+//! (`NullSink`, compiled out) vs attached at 1% sampling — plus the raw
+//! insert and merge throughput of the quantile sketch, then emits
+//! `BENCH_telemetry.json` so future PRs are judged against recorded
+//! numbers.
+//!
+//! Usage (as a `harness = false` bench target):
+//!
+//! ```text
+//! cargo bench -p erms-bench --bench bench_telemetry            # full run
+//! cargo bench -p erms-bench --bench bench_telemetry -- --quick # CI smoke
+//! cargo bench -p erms-bench --bench bench_telemetry -- --out /tmp/b.json
+//! ```
+//!
+//! Before any number is written, the sink-on run's `SimResult` is
+//! asserted bit-identical to the sink-off run — the sink samples from a
+//! private seeded stream and never touches the engine's RNG, so
+//! observability is "same answer, observed".
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use erms_core::latency::Interference;
+use erms_core::manager::ErmsScaler;
+use erms_core::prelude::{MicroserviceId, RequestRate, ServiceId, WorkloadVector};
+use erms_sim::runtime::{SimConfig, SimResult, Simulation};
+use erms_sim::service_time::derive_from_profile;
+use erms_telemetry::{QuantileSketch, TelemetryCollector, TelemetryConfig};
+use erms_workload::apps::fig5_app;
+
+/// The benchmarked scenario: the Fig. 5 app under a planned allocation,
+/// exactly as `bench_des`'s engine probe builds it.
+struct Scenario {
+    app: erms_core::app::App,
+    workloads: WorkloadVector,
+    containers: BTreeMap<MicroserviceId, u32>,
+    priorities: BTreeMap<MicroserviceId, Vec<ServiceId>>,
+    itf: Interference,
+}
+
+fn scenario() -> Scenario {
+    let (app, _, [s1, s2]) = fig5_app(300.0);
+    let itf = Interference::new(0.3, 0.3);
+    let mut workloads = WorkloadVector::new();
+    workloads.set(s1, RequestRate::per_minute(30_000.0));
+    workloads.set(s2, RequestRate::per_minute(30_000.0));
+    let plan = ErmsScaler::new(&app)
+        .plan(&workloads, itf)
+        .expect("feasible plan");
+    let containers: BTreeMap<_, _> = app
+        .microservices()
+        .map(|(ms, _)| (ms, plan.containers(ms)))
+        .collect();
+    let mut priorities = BTreeMap::new();
+    for ms in app.shared_microservices() {
+        if let Some(order) = plan.priority_order(ms) {
+            priorities.insert(ms, order.to_vec());
+        }
+    }
+    Scenario {
+        app,
+        workloads,
+        containers,
+        priorities,
+        itf,
+    }
+}
+
+fn build_sim(sc: &Scenario, duration_ms: f64, seed: u64) -> Simulation<'_> {
+    let mut sim = Simulation::new(
+        &sc.app,
+        SimConfig {
+            duration_ms,
+            warmup_ms: 0.0,
+            seed,
+            trace_sampling: 0.0,
+            ..SimConfig::default()
+        },
+    );
+    for (ms, m) in sc.app.microservices() {
+        let (model, threads) = derive_from_profile(&m.profile, sc.itf, 0.75);
+        sim.set_service_time(ms, model);
+        sim.set_threads(ms, threads);
+    }
+    sim.set_uniform_interference(sc.itf);
+    sim
+}
+
+fn results_bit_identical(a: &SimResult, b: &SimResult) -> bool {
+    a.generated == b.generated
+        && a.completed == b.completed
+        && a.dropped == b.dropped
+        && a.timed_out == b.timed_out
+        && a.events == b.events
+        && a.service_latencies.len() == b.service_latencies.len()
+        && a.service_latencies
+            .iter()
+            .zip(&b.service_latencies)
+            .all(|((sa, la), (sb, lb))| {
+                sa == sb
+                    && la.len() == lb.len()
+                    && la.iter().zip(lb).all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+}
+
+/// Minimum wall-clock over `reps` *interleaved* runs of `a` then `b`, in
+/// milliseconds, plus each one's last output. Interleaving keeps slow
+/// phases of a shared/throttled host from landing entirely on one side of
+/// the comparison.
+fn time_min_pair<TA, TB>(
+    reps: usize,
+    mut a: impl FnMut() -> TA,
+    mut b: impl FnMut() -> TB,
+) -> ((f64, TA), (f64, TB)) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut out_a = None;
+    let mut out_b = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let value = a();
+        best_a = best_a.min(start.elapsed().as_secs_f64() * 1e3);
+        out_a = Some(value);
+        let start = Instant::now();
+        let value = b();
+        best_b = best_b.min(start.elapsed().as_secs_f64() * 1e3);
+        out_b = Some(value);
+    }
+    (
+        (best_a, out_a.expect("at least one rep")),
+        (best_b, out_b.expect("at least one rep")),
+    )
+}
+
+/// Minimum wall-clock of `f` over `reps` runs, in milliseconds.
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+/// splitmix64 — cheap deterministic value stream for the sketch probes.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+const SAMPLING: f64 = 0.01;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_telemetry.json".to_string());
+
+    let (sim_ms, sim_reps, sketch_values, sketch_reps, merge_shards) = if quick {
+        (5_000.0, 2, 200_000usize, 2, 16usize)
+    } else {
+        (60_000.0, 11, 2_000_000usize, 7, 64usize)
+    };
+    println!(
+        "bench_telemetry: sink probe {sim_ms} ms x {sim_reps} reps at {SAMPLING} sampling, sketch {sketch_values} values x {sketch_reps} reps, {merge_shards} merge shards{}",
+        if quick { ", quick mode" } else { "" }
+    );
+
+    let sc = scenario();
+
+    // --- Sink overhead: NullSink (compiled out) vs 1% sampling. ---
+    // The collector lives outside the timed closure: ring and sketch
+    // tables are preallocated once, the way a long-lived deployment would
+    // hold them, so the probe times the per-event path alone.
+    let sim = build_sim(&sc, sim_ms, 7);
+    let mut collector = TelemetryCollector::for_app(
+        &sc.app,
+        TelemetryConfig {
+            sampling: SAMPLING,
+            ring_capacity: 65_536,
+            seed: 0xBE7C,
+            relative_error: 0.01,
+        },
+    );
+    let ((off_ms, off_result), (on_ms, on_result)) = time_min_pair(
+        sim_reps,
+        || {
+            sim.run(&sc.workloads, &sc.containers, &sc.priorities)
+                .expect("sink-off run")
+        },
+        || {
+            sim.run_with_sink(
+                &sc.workloads,
+                &sc.containers,
+                &sc.priorities,
+                &mut collector,
+            )
+            .expect("sink-on run")
+        },
+    );
+    assert!(
+        results_bit_identical(&off_result, &on_result),
+        "attaching the telemetry sink changed the simulation"
+    );
+    assert!(collector.spans_sampled() > 0, "sink sampled nothing");
+    let events = off_result.events;
+    let off_eps = events as f64 / (off_ms / 1e3).max(1e-9);
+    let on_eps = events as f64 / (on_ms / 1e3).max(1e-9);
+    let overhead_pct = (off_eps - on_eps) / off_eps.max(1e-9) * 100.0;
+    println!(
+        "sink: {events} events — off {off_ms:.1} ms ({off_eps:.0} ev/s), on {on_ms:.1} ms ({on_eps:.0} ev/s), overhead {overhead_pct:.2}% (bit-identical)"
+    );
+
+    // --- Sketch insert throughput. ---
+    let values: Vec<f64> = (0..sketch_values as u64)
+        .map(|i| 0.1 + (splitmix64(i) % 1_000_000) as f64 / 1_000.0)
+        .collect();
+    let (insert_ms, inserted) = time_min(sketch_reps, || {
+        let mut s = QuantileSketch::new(0.01);
+        for &v in &values {
+            s.insert(v);
+        }
+        s.count()
+    });
+    assert_eq!(inserted, sketch_values as u64);
+    let inserts_per_sec = sketch_values as f64 / (insert_ms / 1e3).max(1e-9);
+    println!(
+        "sketch insert: {sketch_values} values in {insert_ms:.1} ms ({inserts_per_sec:.0} inserts/s)"
+    );
+
+    // --- Sketch merge throughput (the replicate() reduction shape). ---
+    let shard_len = sketch_values / merge_shards;
+    let shards: Vec<QuantileSketch> = (0..merge_shards)
+        .map(|shard| {
+            let mut s = QuantileSketch::new(0.01);
+            for &v in &values[shard * shard_len..(shard + 1) * shard_len] {
+                s.insert(v);
+            }
+            s
+        })
+        .collect();
+    let (merge_ms, merged_count) = time_min(sketch_reps, || {
+        let mut acc = QuantileSketch::new(0.01);
+        for shard in &shards {
+            acc.merge(shard).expect("same alpha");
+        }
+        acc.count()
+    });
+    assert_eq!(merged_count, (shard_len * merge_shards) as u64);
+    let merges_per_sec = merge_shards as f64 / (merge_ms / 1e3).max(1e-9);
+    println!(
+        "sketch merge: {merge_shards} shards of {shard_len} values in {merge_ms:.2} ms ({merges_per_sec:.0} merges/s)"
+    );
+
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"sink\": {{\n    \"duration_ms\": {sim_ms},\n    \"sampling\": {SAMPLING},\n    \"events\": {events},\n    \"off_wall_ms\": {ow},\n    \"on_wall_ms\": {nw},\n    \"off_events_per_sec\": {oe},\n    \"on_events_per_sec\": {ne},\n    \"overhead_pct\": {ov},\n    \"bit_identical\": true\n  }},\n  \"sketch\": {{\n    \"insert_values\": {sketch_values},\n    \"insert_wall_ms\": {iw},\n    \"inserts_per_sec\": {ip},\n    \"merge_shards\": {merge_shards},\n    \"merge_shard_values\": {shard_len},\n    \"merge_wall_ms\": {mw},\n    \"merges_per_sec\": {mp}\n  }}\n}}\n",
+        ow = json_f(off_ms),
+        nw = json_f(on_ms),
+        oe = json_f(off_eps),
+        ne = json_f(on_eps),
+        ov = json_f(overhead_pct),
+        iw = json_f(insert_ms),
+        ip = json_f(inserts_per_sec),
+        mw = json_f(merge_ms),
+        mp = json_f(merges_per_sec),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_telemetry.json");
+    println!("wrote {out_path}");
+}

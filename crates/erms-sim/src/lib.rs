@@ -18,7 +18,9 @@
 //!   cluster faults for controller-loop experiments
 //!   ([`ClusterFaultPlan`]);
 //! * [`service_time`] — lognormal, interference-sensitive service times;
-//! * [`stats`] — percentile helpers.
+//! * [`stats`] — percentile helpers;
+//! * [`telemetry`] — zero-cost-when-disabled [`TelemetrySink`] hooks
+//!   feeding the `erms-telemetry` observability pipeline.
 //!
 //! # Example
 //!
@@ -63,8 +65,10 @@ pub mod runtime;
 pub mod service_time;
 pub mod stats;
 mod tables;
+pub mod telemetry;
 
 pub use faults::{ClusterFault, ClusterFaultPlan, FaultPlan};
 pub use replicate::{replicate, replicate_serial, replication_seed};
 pub use runtime::{PercentileView, Scheduling, SimConfig, SimResult, Simulation};
 pub use service_time::ServiceTimeModel;
+pub use telemetry::{NullSink, RequestRecord, SpanRecord, TelemetrySink};

@@ -33,6 +33,7 @@ use crate::faults::FaultPlan;
 use crate::service_time::ServiceTimeModel;
 use crate::stats;
 use crate::tables::SimTables;
+use crate::telemetry::{NullSink, RequestRecord, SpanRecord, TelemetrySink};
 
 /// Request scheduling policy at each container (§5.3.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -176,9 +177,31 @@ impl<'a> Simulation<'a> {
         containers: &BTreeMap<MicroserviceId, u32>,
         priorities: &BTreeMap<MicroserviceId, Vec<ServiceId>>,
     ) -> Result<SimResult> {
+        self.run_with_sink(workloads, containers, priorities, NullSink)
+    }
+
+    /// Runs the simulation with a [`TelemetrySink`] observing every
+    /// post-warm-up span and request completion.
+    ///
+    /// `run` is exactly this with [`NullSink`]: the sink's
+    /// [`ENABLED`](TelemetrySink::ENABLED) constant compiles the hooks
+    /// out, and an enabled sink never touches the engine's RNG, so the
+    /// [`SimResult`] is bit-identical either way. Pass `&mut collector`
+    /// to keep access to the sink after the run.
+    ///
+    /// # Errors
+    ///
+    /// Same validation failures as [`run`](Self::run).
+    pub fn run_with_sink<S: TelemetrySink>(
+        &self,
+        workloads: &WorkloadVector,
+        containers: &BTreeMap<MicroserviceId, u32>,
+        priorities: &BTreeMap<MicroserviceId, Vec<ServiceId>>,
+        sink: S,
+    ) -> Result<SimResult> {
         self.validate(workloads, containers)?;
         let tables = SimTables::build(self, workloads, priorities);
-        Ok(Engine::new(self, &tables, containers).run())
+        Ok(Engine::new(self, &tables, containers, sink).run())
     }
 
     /// Checks everything user-supplied before the engine starts, so the
@@ -515,7 +538,7 @@ struct DeploymentState {
     rr: usize,
 }
 
-struct Engine<'e> {
+struct Engine<'e, S: TelemetrySink> {
     heap: BinaryHeap<HeapItem>,
     /// A held event known to precede everything in the heap (its
     /// `(time_key, seq)` is strictly below the heap's minimum; keys are
@@ -565,13 +588,17 @@ struct Engine<'e> {
     crashed_containers: u64,
     lost_spans: u64,
     fault_schedule: Vec<EngineFault>,
+    /// Telemetry observer; [`NullSink`] (the `run` path) compiles every
+    /// hook out via `S::ENABLED`.
+    sink: S,
 }
 
-impl<'e> Engine<'e> {
+impl<'e, S: TelemetrySink> Engine<'e, S> {
     fn new(
         sim: &'e Simulation<'e>,
         tables: &'e SimTables,
         containers: &BTreeMap<MicroserviceId, u32>,
+        sink: S,
     ) -> Self {
         let state: Vec<DeploymentState> = sim
             .app
@@ -663,6 +690,7 @@ impl<'e> Engine<'e> {
             crashed_containers: 0,
             lost_spans: 0,
             fault_schedule,
+            sink,
         }
     }
 
@@ -995,6 +1023,16 @@ impl<'e> Engine<'e> {
         // Record own latency (queueing + processing).
         if arrive >= self.warmup_ms {
             self.result_own[mi].push((arrive, time - arrive, service));
+            if S::ENABLED {
+                self.sink.on_span(&SpanRecord {
+                    service,
+                    microservice: ms,
+                    container: container_idx as u32,
+                    priority_class: self.tables.ms[mi].class(service) as u32,
+                    start_ms: arrive,
+                    end_ms: time,
+                });
+            }
         }
 
         // Fan out the first stage, or complete immediately.
@@ -1105,6 +1143,13 @@ impl<'e> Engine<'e> {
                     self.completed += 1;
                     if root_start >= self.warmup_ms {
                         self.result_latencies[service.index()].push(e2e);
+                        if S::ENABLED {
+                            self.sink.on_request(&RequestRecord {
+                                service,
+                                start_ms: root_start,
+                                end_ms: time,
+                            });
+                        }
                     }
                 }
                 self.release_call(idx);

@@ -1,0 +1,121 @@
+//! Zero-cost telemetry hooks for the dense DES engine.
+//!
+//! The engine is generic over a [`TelemetrySink`], and the default
+//! [`NullSink`] sets the associated constant [`TelemetrySink::ENABLED`]
+//! to `false`: every hook — including construction of the record structs
+//! — sits behind `if S::ENABLED`, a compile-time constant branch that
+//! monomorphisation removes entirely. `Simulation::run` therefore pays
+//! nothing for the instrumentation; an observed run goes through
+//! `Simulation::run_with_sink` with a real collector (see the
+//! `erms-telemetry` crate).
+//!
+//! A sink receives one [`SpanRecord`] per completed microservice call —
+//! the Server-span vocabulary of `erms-trace`: which microservice served
+//! which service, on which container and priority class, from queue
+//! arrival to response — and one [`RequestRecord`] per end-to-end
+//! request completion. Records are emitted for *every* post-warm-up
+//! completion; sampling is the sink's decision, made from its own
+//! deterministic stream. An enabled sink must never consume the engine's
+//! seeded RNG, so simulation results stay bit-identical with telemetry
+//! on or off (pinned by `tests/golden_sim.rs`).
+
+use erms_core::ids::{MicroserviceId, ServiceId};
+
+/// One completed microservice call, as observed at its serving
+/// container. Mirrors `erms_trace::Span` with `kind = Server`, plus the
+/// scheduling context (container, priority class) a span store does not
+/// carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Service whose dependency graph issued the call.
+    pub service: ServiceId,
+    /// Microservice that served it.
+    pub microservice: MicroserviceId,
+    /// Index of the serving container within the deployment.
+    pub container: u32,
+    /// Priority class the call was queued under (0 = highest; 0 for all
+    /// services when the microservice has no priority order).
+    pub priority_class: u32,
+    /// Arrival at the container's queue, in simulation ms.
+    pub start_ms: f64,
+    /// Response sent, in simulation ms.
+    pub end_ms: f64,
+}
+
+impl SpanRecord {
+    /// Own latency of the call — queueing plus processing, in ms.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// One end-to-end request completion (the root call finished all its
+/// stages and the client was still waiting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Service the request belongs to.
+    pub service: ServiceId,
+    /// Root-call arrival, in simulation ms.
+    pub start_ms: f64,
+    /// Completion, in simulation ms.
+    pub end_ms: f64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency of the request, in ms.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// Observer of engine completions.
+///
+/// Implementations must be deterministic functions of their own state
+/// and the records they receive — in particular they must not read wall
+/// clocks or global RNGs, so that replicated runs merge bit-identically
+/// (see `erms_sim::replicate`).
+pub trait TelemetrySink {
+    /// Compile-time gate. When `false` (the [`NullSink`]), every hook
+    /// call site is removed by monomorphisation and the engine is
+    /// byte-for-byte the uninstrumented one.
+    const ENABLED: bool = true;
+
+    /// Called once per completed microservice call past warm-up.
+    fn on_span(&mut self, span: &SpanRecord);
+
+    /// Called once per end-to-end request completion past warm-up.
+    fn on_request(&mut self, request: &RequestRecord);
+}
+
+/// The disabled sink: `ENABLED = false`, empty hooks. This is what
+/// `Simulation::run` uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_span(&mut self, _span: &SpanRecord) {}
+
+    #[inline(always)]
+    fn on_request(&mut self, _request: &RequestRecord) {}
+}
+
+/// Forwarding impl so callers can pass `&mut sink` without giving up
+/// ownership (e.g. to inspect the sink after the run).
+impl<S: TelemetrySink> TelemetrySink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn on_span(&mut self, span: &SpanRecord) {
+        (**self).on_span(span);
+    }
+
+    #[inline(always)]
+    fn on_request(&mut self, request: &RequestRecord) {
+        (**self).on_request(request);
+    }
+}

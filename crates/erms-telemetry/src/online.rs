@@ -1,0 +1,354 @@
+//! Online re-profiling: the closed loop of the paper's deployed system
+//! (§5.1, Fig. 9).
+//!
+//! In the real Erms, Jaeger spans flow into the Profiling module, which
+//! continuously re-fits the piecewise-linear latency models that
+//! Scheduling and Deployment consume. This module is that loop for the
+//! simulator: sampled [`SpanRecord`]s from a
+//! [`TelemetryCollector`](crate::collector::TelemetryCollector) are
+//! windowed into per-microservice `(workload, tail-latency)`
+//! observations ([`window_samples`]), accumulated across observation
+//! rounds by [`OnlineProfiler`], and re-fit via
+//! `erms_profilers::piecewise` into a fresh `App` whose profiles the
+//! planners (`ErmsScaler`, `ResilientManager`) consume directly
+//! ([`OnlineProfiler::refit`]).
+//!
+//! # Window semantics
+//!
+//! Spans are bucketed by `(microservice, ⌊start_ms / window_ms⌋)`. Each
+//! window with at least [`WindowConfig::min_samples`] spans yields one
+//! profiler sample:
+//!
+//! * latency — the windowed nearest-rank percentile
+//!   ([`WindowConfig::percentile`]) of span own-latencies, via
+//!   `erms_core::stats`;
+//! * workload γ — sampled span count, scaled up by `1 / sampling` to
+//!   estimate true window traffic, converted to calls **per minute per
+//!   container** (`× 60000 / window_ms / containers`) — the unit the
+//!   latency profiles are parameterised in (Eq. 15's per-container
+//!   workload).
+//!
+//! Windows below `min_samples` are discarded: their percentile estimate
+//! is noise, and a biased-low γ with a real tail latency would bend the
+//! fitted knee the wrong way.
+
+use std::collections::BTreeMap;
+
+use erms_core::app::{App, AppBuilder};
+use erms_core::ids::MicroserviceId;
+use erms_core::latency::Interference;
+use erms_core::stats;
+use erms_profilers::dataset::Sample;
+use erms_profilers::piecewise::PiecewiseFitter;
+use erms_sim::telemetry::SpanRecord;
+
+use crate::collector::TelemetryCollector;
+
+/// Windowing parameters for span → observation conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Window length in simulation ms.
+    pub window_ms: f64,
+    /// Tail percentile extracted per window (e.g. 0.95).
+    pub percentile: f64,
+    /// Minimum sampled spans for a window to produce an observation.
+    pub min_samples: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self {
+            window_ms: 1_000.0,
+            percentile: 0.95,
+            min_samples: 8,
+        }
+    }
+}
+
+/// Buckets spans into `(microservice, window)` cells and emits one
+/// profiler [`Sample`] per dense-enough cell. `sampling` is the span
+/// sampling rate the spans were collected at (used to scale counts back
+/// to true traffic); `containers` is the deployment the spans were
+/// observed under.
+pub fn window_samples<'a>(
+    spans: impl IntoIterator<Item = &'a SpanRecord>,
+    containers: &BTreeMap<MicroserviceId, u32>,
+    itf: Interference,
+    sampling: f64,
+    config: &WindowConfig,
+) -> BTreeMap<MicroserviceId, Vec<Sample>> {
+    let window_ms = if config.window_ms.is_finite() && config.window_ms > 0.0 {
+        config.window_ms
+    } else {
+        1_000.0
+    };
+    let sampling = if sampling.is_finite() && sampling > 0.0 {
+        sampling.min(1.0)
+    } else {
+        1.0
+    };
+    // Collect per-cell latencies first; windows are only meaningful once
+    // complete.
+    let mut cells: BTreeMap<(MicroserviceId, u64), Vec<f64>> = BTreeMap::new();
+    for span in spans {
+        let window = (span.start_ms / window_ms).floor().max(0.0) as u64;
+        cells
+            .entry((span.microservice, window))
+            .or_default()
+            .push(span.latency_ms());
+    }
+    let mut out: BTreeMap<MicroserviceId, Vec<Sample>> = BTreeMap::new();
+    for ((ms, _window), latencies) in cells {
+        if latencies.len() < config.min_samples.max(1) {
+            continue;
+        }
+        let n = containers.get(&ms).copied().unwrap_or(0);
+        if n == 0 {
+            continue;
+        }
+        let tail = stats::percentile(&latencies, config.percentile);
+        // Sampled count → estimated true count → per-minute per-container.
+        let gamma = (latencies.len() as f64 / sampling) * (60_000.0 / window_ms) / f64::from(n);
+        out.entry(ms)
+            .or_default()
+            .push(Sample::new(tail, gamma, itf.cpu, itf.memory));
+    }
+    out
+}
+
+/// Outcome of one [`OnlineProfiler::refit`] round.
+#[derive(Debug, Clone)]
+pub struct RefitOutcome {
+    /// The app with re-fitted latency profiles installed (identical ids
+    /// and topology; microservices without enough data keep their old
+    /// profile). Hand this to `ErmsScaler::new` or
+    /// `ResilientManager::run_round` to re-plan.
+    pub app: App,
+    /// Microservices whose profile was re-fitted this round.
+    pub refitted: Vec<MicroserviceId>,
+    /// Microservices that kept their previous profile (not enough
+    /// samples, or the fit failed validation).
+    pub kept: Vec<MicroserviceId>,
+}
+
+impl RefitOutcome {
+    /// `true` when at least one profile was re-fitted.
+    #[must_use]
+    pub fn changed(&self) -> bool {
+        !self.refitted.is_empty()
+    }
+}
+
+/// Accumulates windowed observations across rounds and re-fits
+/// per-microservice piecewise-linear profiles on demand.
+#[derive(Debug, Clone)]
+pub struct OnlineProfiler {
+    fitter: PiecewiseFitter,
+    window: WindowConfig,
+    /// Cap on retained samples per microservice; oldest are dropped
+    /// first (bounded memory over an unbounded run).
+    max_samples: usize,
+    samples: BTreeMap<MicroserviceId, Vec<Sample>>,
+}
+
+impl Default for OnlineProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineProfiler {
+    /// Creates a profiler with default fitter and window settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            fitter: PiecewiseFitter::default(),
+            window: WindowConfig::default(),
+            max_samples: 2_048,
+            samples: BTreeMap::new(),
+        }
+    }
+
+    /// Replaces the piecewise fitter configuration.
+    #[must_use]
+    pub fn with_fitter(mut self, fitter: PiecewiseFitter) -> Self {
+        self.fitter = fitter;
+        self
+    }
+
+    /// Replaces the windowing configuration.
+    #[must_use]
+    pub fn with_window(mut self, window: WindowConfig) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Caps retained samples per microservice (minimum 16).
+    #[must_use]
+    pub fn with_max_samples(mut self, max_samples: usize) -> Self {
+        self.max_samples = max_samples.max(16);
+        self
+    }
+
+    /// Windows the collector's sampled spans (under deployment
+    /// `containers` at interference `itf`) and appends the resulting
+    /// observations. Returns how many samples were added.
+    pub fn ingest(
+        &mut self,
+        collector: &TelemetryCollector,
+        containers: &BTreeMap<MicroserviceId, u32>,
+        itf: Interference,
+    ) -> usize {
+        let windowed = window_samples(
+            collector.spans(),
+            containers,
+            itf,
+            collector.config().sampling,
+            &self.window,
+        );
+        let mut added = 0;
+        for (ms, samples) in windowed {
+            added += samples.len();
+            let bucket = self.samples.entry(ms).or_default();
+            bucket.extend(samples);
+            if bucket.len() > self.max_samples {
+                let drop = bucket.len() - self.max_samples;
+                bucket.drain(..drop);
+            }
+        }
+        added
+    }
+
+    /// Observations currently retained for one microservice.
+    #[must_use]
+    pub fn sample_count(&self, ms: MicroserviceId) -> usize {
+        self.samples.get(&ms).map_or(0, Vec::len)
+    }
+
+    /// Re-fits every microservice with enough retained observations and
+    /// returns a rebuilt `App` (same names, ids and dependency graphs)
+    /// carrying the updated profiles. A microservice keeps its old
+    /// profile when it has too few samples or its fit fails validation —
+    /// the loop degrades to the stale model instead of poisoning the
+    /// planner.
+    #[must_use]
+    pub fn refit(&self, app: &App) -> RefitOutcome {
+        // The fitter needs at least two minimum-size segments to
+        // consider a knee; below that a fit would be pure noise.
+        let need = (2 * self.fitter.min_segment_samples).max(4);
+        let mut refitted = Vec::new();
+        let mut kept = Vec::new();
+        let mut b = AppBuilder::new(app.name());
+        for (ms, micro) in app.microservices() {
+            let fresh = self
+                .samples
+                .get(&ms)
+                .filter(|s| s.len() >= need)
+                .and_then(|s| self.fitter.fit(s).ok())
+                // Least squares over the convex pre-knee region can tilt
+                // the low segment into a negative zero-load intercept,
+                // which would make the planner treat the microservice as
+                // free at low load. Clamp to the physical floor — the
+                // segment stays conservative everywhere it is actually
+                // evaluated (the high segment is untouched, so the knee
+                // itself keeps its fitted position).
+                .map(|mut profile| {
+                    profile.low.b = profile.low.b.max(0.0);
+                    profile
+                })
+                .filter(|profile| profile.validate().is_ok());
+            let profile = match fresh {
+                Some(profile) => {
+                    refitted.push(ms);
+                    profile
+                }
+                None => {
+                    kept.push(ms);
+                    micro.profile.clone()
+                }
+            };
+            b.microservice(micro.name.clone(), profile, micro.resources);
+        }
+        for (_, svc) in app.services() {
+            b.raw_service(svc.name.clone(), svc.sla, svc.graph.clone());
+        }
+        match b.build() {
+            Ok(rebuilt) => RefitOutcome {
+                app: rebuilt,
+                refitted,
+                kept,
+            },
+            // The original app built once already, and kept/refitted
+            // profiles are validated — a rebuild failure is unreachable
+            // in practice, but the loop must never panic mid-control.
+            Err(_) => RefitOutcome {
+                app: app.clone(),
+                refitted: Vec::new(),
+                kept: app.microservices().map(|(ms, _)| ms).collect(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erms_core::ids::ServiceId;
+
+    fn span(ms: u32, start: f64, latency: f64) -> SpanRecord {
+        SpanRecord {
+            service: ServiceId::new(0),
+            microservice: MicroserviceId::new(ms),
+            container: 0,
+            priority_class: 0,
+            start_ms: start,
+            end_ms: start + latency,
+        }
+    }
+
+    #[test]
+    fn windows_scale_counts_by_sampling_and_containers() {
+        let mut spans = Vec::new();
+        // 40 spans in window 0 of ms 0, constant 5 ms latency.
+        for i in 0..40 {
+            spans.push(span(0, f64::from(i) * 20.0, 5.0));
+        }
+        let containers: BTreeMap<_, _> = [(MicroserviceId::new(0), 4u32)].into();
+        let out = window_samples(
+            spans.iter(),
+            &containers,
+            Interference::new(0.2, 0.2),
+            0.5,
+            &WindowConfig {
+                window_ms: 1_000.0,
+                percentile: 0.95,
+                min_samples: 8,
+            },
+        );
+        let samples = &out[&MicroserviceId::new(0)];
+        assert_eq!(samples.len(), 1);
+        // 40 sampled / 0.5 sampling = 80 true calls per 1 s window
+        // = 4 800 per minute / 4 containers = 1 200 per container.
+        assert!((samples[0].gamma - 1_200.0).abs() < 1e-9);
+        assert!((samples[0].latency_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_windows_and_zero_containers_are_dropped() {
+        let spans = [span(0, 0.0, 5.0), span(1, 0.0, 5.0)];
+        let containers: BTreeMap<_, _> = [(MicroserviceId::new(0), 1u32)].into();
+        let out = window_samples(
+            spans.iter(),
+            &containers,
+            Interference::new(0.2, 0.2),
+            1.0,
+            &WindowConfig {
+                window_ms: 1_000.0,
+                percentile: 0.95,
+                min_samples: 2,
+            },
+        );
+        // ms 0: one span < min_samples. ms 1: no containers.
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Replication determinism for the telemetry pipeline.
+//!
+//! `erms_sim::replicate` fans seeded replicas over a rayon pool and
+//! reduces in replica order. A [`TelemetryCollector`] attached to each
+//! replica must not break that: collectors derive their sampling stream
+//! from the replica seed (never wall clock, never a global RNG), so the
+//! ordered merge of per-replica collectors — counts, sketch buckets,
+//! quantiles, even the retained span records — is bit-identical between
+//! `replicate_serial` and `replicate` at any thread count.
+//!
+//! Single `#[test]`: `RAYON_NUM_THREADS` is process-global state.
+
+use std::collections::BTreeMap;
+
+use erms_core::app::{App, AppBuilder, RequestRate, Sla, WorkloadVector};
+use erms_core::ids::{MicroserviceId, ServiceId};
+use erms_core::latency::{Interference, LatencyProfile};
+use erms_core::resources::Resources;
+use erms_sim::runtime::{SimConfig, Simulation};
+use erms_sim::service_time::ServiceTimeModel;
+use erms_sim::{replicate, replicate_serial};
+use erms_telemetry::{TelemetryCollector, TelemetryConfig};
+
+fn small_app() -> (App, [MicroserviceId; 2], ServiceId) {
+    let mut b = AppBuilder::new("telemetry-replication");
+    let a = b.microservice("a", LatencyProfile::linear(0.01, 2.0), Resources::default());
+    let c = b.microservice("c", LatencyProfile::linear(0.01, 2.0), Resources::default());
+    let s = b.service("s", Sla::p95_ms(100.0), |g| {
+        let root = g.entry(a);
+        g.call_seq(root, c);
+    });
+    (b.build().unwrap(), [a, c], s)
+}
+
+/// One replica: a short seeded run observed by a collector whose
+/// sampling stream is derived from the replica seed.
+fn run_replica(app: &App, ids: [MicroserviceId; 2], s: ServiceId, seed: u64) -> TelemetryCollector {
+    let [a, c] = ids;
+    let mut sim = Simulation::new(
+        app,
+        SimConfig {
+            duration_ms: 4_000.0,
+            warmup_ms: 500.0,
+            seed,
+            trace_sampling: 0.0,
+            ..SimConfig::default()
+        },
+    );
+    sim.set_service_time(a, ServiceTimeModel::new(1.5, 0.4, 1.0, 0.5));
+    sim.set_service_time(c, ServiceTimeModel::new(2.0, 0.3, 1.0, 0.5));
+    sim.set_uniform_interference(Interference::new(0.3, 0.25));
+    let mut w = WorkloadVector::new();
+    w.set(s, RequestRate::per_minute(6_000.0));
+    let cs: BTreeMap<MicroserviceId, u32> = [(a, 2), (c, 2)].into_iter().collect();
+    let mut collector = TelemetryCollector::for_app(
+        app,
+        TelemetryConfig {
+            sampling: 0.35,
+            ring_capacity: 8_192,
+            // Per-replica stream: distinct replicas sample different
+            // spans, but each replica is fully reproducible.
+            seed: seed ^ 0x7E1E,
+            relative_error: 0.01,
+        },
+    );
+    sim.run_with_sink(&w, &cs, &BTreeMap::new(), &mut collector)
+        .unwrap();
+    collector
+}
+
+/// Ordered reduction of per-replica collectors into one.
+fn fold(app: &App, replicas: &[TelemetryCollector]) -> TelemetryCollector {
+    let mut acc = TelemetryCollector::for_app(
+        app,
+        TelemetryConfig {
+            sampling: 0.35,
+            ring_capacity: 65_536,
+            seed: 0,
+            relative_error: 0.01,
+        },
+    );
+    for replica in replicas {
+        acc.merge(replica).expect("same sketch configuration");
+    }
+    acc
+}
+
+/// Bit-exact comparison of two merged collectors.
+fn assert_identical(a: &TelemetryCollector, b: &TelemetryCollector, label: &str) {
+    assert_eq!(a.spans_seen(), b.spans_seen(), "{label}: spans_seen");
+    assert_eq!(
+        a.spans_sampled(),
+        b.spans_sampled(),
+        "{label}: spans_sampled"
+    );
+    assert_eq!(
+        a.requests_seen(),
+        b.requests_seen(),
+        "{label}: requests_seen"
+    );
+    assert_eq!(a.ring().len(), b.ring().len(), "{label}: ring length");
+    for (i, (sa, sb)) in a.spans().zip(b.spans()).enumerate() {
+        assert_eq!(sa.microservice, sb.microservice, "{label}: span {i} ms");
+        assert_eq!(sa.service, sb.service, "{label}: span {i} service");
+        assert_eq!(sa.container, sb.container, "{label}: span {i} container");
+        assert_eq!(
+            sa.start_ms.to_bits(),
+            sb.start_ms.to_bits(),
+            "{label}: span {i} start"
+        );
+        assert_eq!(
+            sa.end_ms.to_bits(),
+            sb.end_ms.to_bits(),
+            "{label}: span {i} end"
+        );
+    }
+    for idx in 0..2u32 {
+        let ms = MicroserviceId::new(idx);
+        let (sa, sb) = (a.ms_latency(ms), b.ms_latency(ms));
+        assert_eq!(
+            sa.is_some(),
+            sb.is_some(),
+            "{label}: sketch presence ms{idx}"
+        );
+        if let (Some(sa), Some(sb)) = (sa, sb) {
+            assert_eq!(
+                sa.bucket_counts(),
+                sb.bucket_counts(),
+                "{label}: ms{idx} buckets"
+            );
+            assert_eq!(sa.count(), sb.count(), "{label}: ms{idx} count");
+            // Identical merge order ⇒ identical f64 accumulation order.
+            assert_eq!(
+                sa.sum().to_bits(),
+                sb.sum().to_bits(),
+                "{label}: ms{idx} sum"
+            );
+            for q in [0.5, 0.95, 0.99] {
+                assert_eq!(
+                    sa.quantile(q).to_bits(),
+                    sb.quantile(q).to_bits(),
+                    "{label}: ms{idx} q{q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_collectors_are_bit_identical_across_thread_counts() {
+    let (app, ids, s) = small_app();
+    let base_seed = 42;
+    let n = 8;
+
+    let serial = replicate_serial(base_seed, n, |seed, _| run_replica(&app, ids, s, seed));
+    let merged_serial = fold(&app, &serial);
+
+    // The merge really aggregated across replicas.
+    let per_replica: u64 = serial.iter().map(TelemetryCollector::spans_sampled).sum();
+    assert!(per_replica > 0, "no replica sampled anything");
+    assert_eq!(merged_serial.spans_sampled(), per_replica);
+    // Distinct replica seeds sample distinct spans (sweep not degenerate).
+    assert!(serial
+        .windows(2)
+        .any(|w| w[0].spans_sampled() != w[1].spans_sampled()
+            || w[0].spans_seen() != w[1].spans_seen()));
+
+    for threads in ["1", "2", "4"] {
+        // Safe: this is the only test in the binary, so no other thread
+        // reads the variable concurrently.
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let parallel = replicate(base_seed, n, |seed, _| run_replica(&app, ids, s, seed));
+        let merged_parallel = fold(&app, &parallel);
+        assert_identical(
+            &merged_parallel,
+            &merged_serial,
+            &format!("{threads} thread(s)"),
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

@@ -1,0 +1,154 @@
+//! Property tests pinning the sketch's two contracts:
+//!
+//! 1. **Accuracy** — for any input distribution, `quantile(q)` is within
+//!    relative error α of the *exact* nearest-rank answer computed by
+//!    `erms_core::stats::percentile` on the same samples. Exercised on
+//!    uniform, bimodal and heavy-tailed inputs (the shapes microservice
+//!    latencies actually take: noise floors, cache hit/miss modes, tail
+//!    amplification).
+//! 2. **Merge algebra** — merging is commutative and associative on all
+//!    integer state (bucket counts, total count, min/max), so
+//!    `replicate()`'s ordered reduction is deterministic; the tracked
+//!    `sum` commutes exactly and re-associates only within f64
+//!    round-off. A merged sketch keeps the α guarantee over the
+//!    concatenated samples.
+//!
+//! Value ranges stay within a few decades so the `max_bins` collapse
+//! never triggers (collapse intentionally sacrifices *low*-quantile
+//! accuracy; its behaviour is unit-tested in the crate).
+
+use erms_core::stats;
+use erms_telemetry::QuantileSketch;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const ALPHA: f64 = 0.01;
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(ALPHA);
+    for &v in values {
+        s.insert(v);
+    }
+    s
+}
+
+/// |estimate − exact| ≤ α·exact, with a hair of slack for the ln/exp
+/// round-trip inside the bucket midpoint.
+fn assert_within_alpha(
+    sketch: &QuantileSketch,
+    values: &[f64],
+    q: f64,
+) -> Result<(), TestCaseError> {
+    let exact = stats::percentile(values, q);
+    let est = sketch.quantile(q);
+    let tol = ALPHA * exact * (1.0 + 1e-9) + 1e-9;
+    prop_assert!(
+        (est - exact).abs() <= tol,
+        "q={q}: estimate {est} vs exact {exact} (n={}, tol={tol})",
+        values.len()
+    );
+    Ok(())
+}
+
+/// Uniform noise over four decades.
+fn uniform_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..1_000.0, 1..250)
+}
+
+/// Two latency modes an order of magnitude apart (cache hit vs miss).
+fn bimodal_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((any::<bool>(), 0.0f64..1.0), 1..250).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(fast, u)| if fast { 1.0 + u } else { 400.0 + 200.0 * u })
+            .collect()
+    })
+}
+
+/// Heavy tail: inverse-CDF of a Pareto-like distribution, range ≈ [1, 200].
+fn heavy_tail_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..0.995, 1..250)
+        .prop_map(|us| us.into_iter().map(|u| 1.0 / (1.0 - u)).collect())
+}
+
+const QS: [f64; 5] = [0.5, 0.9, 0.95, 0.99, 1.0];
+
+/// Everything that must be *bit*-identical between two sketches holding
+/// the same multiset of samples, regardless of how they were assembled.
+fn assert_integer_state_identical(
+    a: &QuantileSketch,
+    b: &QuantileSketch,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.count(), b.count());
+    prop_assert_eq!(a.bucket_counts(), b.bucket_counts());
+    prop_assert_eq!(a.min().to_bits(), b.min().to_bits());
+    prop_assert_eq!(a.max().to_bits(), b.max().to_bits());
+    for q in QS {
+        prop_assert_eq!(a.quantile(q).to_bits(), b.quantile(q).to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_match_exact_nearest_rank_on_uniform(values in uniform_values()) {
+        let sketch = sketch_of(&values);
+        for q in QS {
+            assert_within_alpha(&sketch, &values, q)?;
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_nearest_rank_on_bimodal(values in bimodal_values()) {
+        let sketch = sketch_of(&values);
+        for q in QS {
+            assert_within_alpha(&sketch, &values, q)?;
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_nearest_rank_on_heavy_tail(values in heavy_tail_values()) {
+        let sketch = sketch_of(&values);
+        for q in QS {
+            assert_within_alpha(&sketch, &values, q)?;
+        }
+    }
+
+    /// a ⊕ b ≡ b ⊕ a. The sum is exactly commutative too (f64 addition
+    /// commutes; it only fails to associate).
+    #[test]
+    fn merge_is_commutative(a in uniform_values(), b in heavy_tail_values()) {
+        let (sa, sb) = (sketch_of(&a), sketch_of(&b));
+        let ab = sa.merged(&sb).unwrap();
+        let ba = sb.merged(&sa).unwrap();
+        assert_integer_state_identical(&ab, &ba)?;
+        prop_assert_eq!(ab.sum().to_bits(), ba.sum().to_bits());
+    }
+
+    /// (a ⊕ b) ⊕ c ≡ a ⊕ (b ⊕ c) on integer state; the sum re-associates
+    /// within f64 round-off. The merged sketch also keeps the α accuracy
+    /// guarantee over the concatenation — the property `replicate()`'s
+    /// reduction actually relies on.
+    #[test]
+    fn merge_is_associative_and_accuracy_preserving(
+        a in uniform_values(),
+        b in bimodal_values(),
+        c in heavy_tail_values(),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let left = sa.merged(&sb).unwrap().merged(&sc).unwrap();
+        let right = sa.merged(&sb.merged(&sc).unwrap()).unwrap();
+        assert_integer_state_identical(&left, &right)?;
+        let rel = (left.sum() - right.sum()).abs() / right.sum().max(f64::MIN_POSITIVE);
+        prop_assert!(rel <= 1e-9, "sum diverged beyond round-off: {}", rel);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        for q in QS {
+            assert_within_alpha(&left, &all, q)?;
+        }
+    }
+}

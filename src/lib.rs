@@ -15,6 +15,9 @@
 //! * [`workload`] — workload generators and DeathStarBench-like topologies.
 //! * [`profilers`] — piecewise-linear fitting plus GBDT/MLP baselines.
 //! * [`baselines`] — the GrandSLAm, Rhythm and Firm autoscalers.
+//! * [`telemetry`] — in-sim observability: sampled span collection,
+//!   mergeable quantile sketches, and the online re-profiling loop that
+//!   feeds re-fitted latency models back to the planners.
 //!
 //! # Quick start
 //!
@@ -44,5 +47,6 @@ pub use erms_baselines as baselines;
 pub use erms_core as core;
 pub use erms_profilers as profilers;
 pub use erms_sim as sim;
+pub use erms_telemetry as telemetry;
 pub use erms_trace as trace;
 pub use erms_workload as workload;

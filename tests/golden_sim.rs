@@ -263,3 +263,51 @@ fn golden_digest_is_pinned() {
 /// Box–Muller to the ziggurat (both engines changed together; the
 /// dense == reference assertions above never drifted).
 const GOLDEN_DIGEST: u64 = 4880943419187733637;
+
+/// The telemetry sink must be invisible to the simulation: its sampling
+/// coin is a private counter-hash stream, never the engine RNG, so a
+/// run observed by an enabled collector reproduces the pinned golden
+/// digest bit for bit — while the collector itself sees real traffic.
+#[test]
+fn golden_digest_unchanged_with_telemetry_sink() {
+    use erms_telemetry::{TelemetryCollector, TelemetryConfig};
+
+    let (app, ms_ids, services) = chain_app();
+    let cs = containers_for(&app, 2);
+    let mut sim = Simulation::new(&app, base_config(42));
+    for &ms in &ms_ids {
+        sim.set_service_time(ms, ServiceTimeModel::new(2.0, 0.3, 1.0, 0.5));
+    }
+    sim.set_uniform_interference(Interference::new(0.2, 0.2));
+    let mut w = WorkloadVector::new();
+    w.set(services[0], RequestRate::per_minute(3_000.0));
+    let mut collector = TelemetryCollector::for_app(
+        &app,
+        TelemetryConfig {
+            sampling: 0.5,
+            ring_capacity: 4_096,
+            seed: 9,
+            relative_error: 0.01,
+        },
+    );
+    let observed = sim
+        .run_with_sink(&w, &cs, &BTreeMap::new(), &mut collector)
+        .unwrap();
+    assert_eq!(
+        digest(&observed),
+        GOLDEN_DIGEST,
+        "an enabled telemetry sink changed simulation results"
+    );
+    // And the collector really observed the run.
+    assert!(collector.spans_seen() > 0, "sink saw no spans");
+    assert!(collector.spans_sampled() > 0, "sampling selected nothing");
+    assert!(
+        collector.spans_sampled() < collector.spans_seen(),
+        "0.5 sampling kept every span"
+    );
+    assert_eq!(
+        collector.requests_seen() as usize,
+        observed.service_latencies[&services[0]].len(),
+        "sink must see exactly the post-warm-up completions"
+    );
+}

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use erms::core::prelude::*;
 use erms::sim::runtime::{SimConfig, Simulation};
 use erms::sim::service_time::derive_from_profile;
+use erms::telemetry::{TelemetryCollector, TelemetryConfig};
 use erms::workload::apps::fig5_app;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
@@ -44,8 +45,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static COUNTER: CountingAlloc = CountingAlloc;
 
 /// Runs the Fig. 5 scenario for `duration_ms` and returns
-/// (events processed, allocator calls made during `run` itself).
-fn run_counted(duration_ms: f64) -> (u64, u64) {
+/// (events processed, allocator calls made during `run` itself). With
+/// `sampling = Some(rate)` a telemetry collector is attached; it is
+/// constructed *outside* the counted window (ring and sketch tables are
+/// preallocated up front), so the count isolates the sink's per-event
+/// marginal cost.
+fn run_counted(duration_ms: f64, sampling: Option<f64>) -> (u64, u64) {
     let (app, _, [s1, s2]) = fig5_app(300.0);
     let itf = Interference::new(0.3, 0.3);
     let mut w = WorkloadVector::new();
@@ -80,9 +85,29 @@ fn run_counted(duration_ms: f64) -> (u64, u64) {
         }
     }
 
+    let mut collector = sampling.map(|rate| {
+        TelemetryCollector::for_app(
+            &app,
+            TelemetryConfig {
+                sampling: rate,
+                ring_capacity: 65_536,
+                seed: 0x51AB,
+                relative_error: 0.01,
+            },
+        )
+    });
+
     let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    let result = sim.run(&w, &containers, &priorities).expect("sim runs");
+    let result = match collector.as_mut() {
+        Some(collector) => sim
+            .run_with_sink(&w, &containers, &priorities, collector)
+            .expect("sim runs"),
+        None => sim.run(&w, &containers, &priorities).expect("sim runs"),
+    };
     let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    if let Some(collector) = &collector {
+        assert!(collector.spans_seen() > 0, "sink saw no spans");
+    }
     (result.events, allocs)
 }
 
@@ -90,8 +115,8 @@ fn run_counted(duration_ms: f64) -> (u64, u64) {
 /// concurrent tests would pollute each other's windows.
 #[test]
 fn event_loop_allocations_grow_sublinearly_with_events() {
-    let (events_short, allocs_short) = run_counted(4_000.0);
-    let (events_long, allocs_long) = run_counted(32_000.0);
+    let (events_short, allocs_short) = run_counted(4_000.0, None);
+    let (events_long, allocs_long) = run_counted(32_000.0, None);
 
     let event_ratio = events_long as f64 / events_short as f64;
     let alloc_ratio = allocs_long as f64 / allocs_short as f64;
@@ -117,5 +142,27 @@ fn event_loop_allocations_grow_sublinearly_with_events() {
     assert!(
         marginal < 0.5,
         "marginal allocations per event must stay below 0.5, got {marginal:.3}"
+    );
+
+    // Same discipline with the telemetry sink attached at 1% sampling:
+    // the ring buffer is preallocated and sketch buckets grow O(log), so
+    // the sink must stay allocation-lean — well under one marginal
+    // allocator call per event.
+    let (sink_events_short, sink_allocs_short) = run_counted(4_000.0, Some(0.01));
+    let (sink_events_long, sink_allocs_long) = run_counted(32_000.0, Some(0.01));
+    let sink_marginal = (sink_allocs_long - sink_allocs_short) as f64
+        / (sink_events_long - sink_events_short) as f64;
+    assert!(
+        sink_marginal < 1.0,
+        "telemetry sink must stay allocation-lean: {sink_marginal:.3} marginal \
+         allocs/event ({sink_allocs_short} allocs for {sink_events_short} events vs \
+         {sink_allocs_long} allocs for {sink_events_long} events)"
+    );
+    // The sink adds no per-event clones: its marginal cost stays close to
+    // the bare engine's.
+    assert!(
+        sink_marginal < marginal + 0.5,
+        "sink marginal ({sink_marginal:.3}) should stay near bare-engine \
+         marginal ({marginal:.3})"
     );
 }
