@@ -1,0 +1,321 @@
+//! Planner scalability harness: cold full re-plans vs. incremental
+//! re-plans at controlled dirty fractions, across synthetic applications
+//! from tens up to thousands of microservices. Emits `BENCH_planner.json`
+//! so future PRs are judged against recorded numbers.
+//!
+//! Usage (as a `harness = false` bench target):
+//!
+//! ```text
+//! cargo bench -p erms-bench --bench bench_planner            # full run
+//! cargo bench -p erms-bench --bench bench_planner -- --quick # CI smoke
+//! cargo bench -p erms-bench --bench bench_planner -- --out /tmp/b.json
+//! ```
+//!
+//! Before any number is written, every incremental plan measured is
+//! asserted **bit-identical** (exact `f64::to_bits`) to a cold full
+//! re-plan over the same inputs — the speedups are honestly "same answer,
+//! faster". Allocation counts come from a counting global allocator, so
+//! the O(dirty)-vs-O(graph) claim is measured, not asserted.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use erms_core::cache::PlanCache;
+use erms_core::incremental::IncrementalPlanner;
+use erms_core::latency::Interference;
+use erms_core::manager::{erms_plan_cached, SchedulingMode};
+use erms_core::prelude::{App, RequestRate, ScalingPlan, ServiceId, WorkloadVector};
+use erms_core::scaling::ScalerConfig;
+use erms_trace::synth::{generate, SynthConfig};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts allocator entry points (alloc + realloc) and forwards to the
+/// system allocator, so a planning round's allocation cost is observable.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn counted<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let value = f();
+    (value, ALLOC_CALLS.load(Ordering::Relaxed) - before)
+}
+
+/// Exact plan equality through `to_bits` on every floating-point field —
+/// derived `PartialEq` would accept `-0.0 == 0.0`.
+fn assert_bit_identical(app: &App, warm: &ScalingPlan, cold: &ScalingPlan) {
+    assert_eq!(warm.scheme, cold.scheme);
+    assert!(
+        warm.iter().eq(cold.iter()),
+        "container counts diverged from cold re-plan"
+    );
+    for (ms, _) in app.microservices() {
+        assert_eq!(warm.priority_order(ms), cold.priority_order(ms));
+    }
+    for (sid, _) in app.services() {
+        let (w, c) = (
+            warm.service_plan(sid).expect("warm service plan"),
+            cold.service_plan(sid).expect("cold service plan"),
+        );
+        assert_eq!(w.node_targets_ms.len(), c.node_targets_ms.len());
+        assert!(
+            w.node_targets_ms
+                .iter()
+                .zip(&c.node_targets_ms)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "node targets diverged for {sid:?}"
+        );
+        assert!(
+            w.ms_targets_ms.len() == c.ms_targets_ms.len()
+                && w.ms_targets_ms
+                    .iter()
+                    .zip(&c.ms_targets_ms)
+                    .all(|((ka, va), (kb, vb))| ka == kb && va.to_bits() == vb.to_bits()),
+            "ms targets diverged for {sid:?}"
+        );
+        assert!(
+            w.ms_containers.len() == c.ms_containers.len()
+                && w.ms_containers
+                    .iter()
+                    .zip(&c.ms_containers)
+                    .all(|((ka, va), (kb, vb))| ka == kb && va.to_bits() == vb.to_bits()),
+            "ms demand diverged for {sid:?}"
+        );
+        assert_eq!(w.ms_intervals, c.ms_intervals);
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct DirtyResult {
+    fraction: f64,
+    dirty_services: usize,
+    wall_ms: f64,
+    plans_per_sec: f64,
+    speedup: f64,
+    allocations: u64,
+}
+
+struct ScaleResult {
+    microservices: usize,
+    services: usize,
+    graph_nodes: usize,
+    cold_wall_ms: f64,
+    cold_plans_per_sec: f64,
+    cold_allocations: u64,
+    dirty: Vec<DirtyResult>,
+}
+
+/// Flips the rates of the first `dirty` services between their base value
+/// and a +7 % bump, so every timed re-plan sees exactly `dirty` services
+/// with changed workloads.
+fn toggle(w: &mut WorkloadVector, sids: &[ServiceId], base: &[f64], dirty: usize, phase: bool) {
+    let factor = if phase { 1.07 } else { 1.0 };
+    for i in 0..dirty.min(sids.len()) {
+        w.set(sids[i], RequestRate::per_minute(base[i] * factor));
+    }
+}
+
+fn bench_scale(n: usize, fractions: &[f64], reps: usize) -> ScaleResult {
+    let generated = generate(&SynthConfig::scaled(n, 42));
+    let app = &generated.app;
+    let sids: Vec<ServiceId> = app.services().map(|(sid, _)| sid).collect();
+    let base: Vec<f64> = (0..sids.len())
+        .map(|i| 90.0 * (i % 37 + 1) as f64)
+        .collect();
+    let graph_nodes: usize = app.services().map(|(_, s)| s.graph.len()).sum();
+    let itf = Interference::new(0.3, 0.3);
+    let config = ScalerConfig::default();
+    let mode = SchedulingMode::Priority;
+    let mut w = WorkloadVector::new();
+    for (i, &sid) in sids.iter().enumerate() {
+        w.set(sid, RequestRate::per_minute(base[i]));
+    }
+
+    // One shared merge memo, exactly as a long-lived controller holds it:
+    // both sides run against a *warm* cache, so the comparison isolates
+    // incremental re-planning from merge memoization.
+    let cache = PlanCache::with_capacity(1 << 16);
+    let mut planner = IncrementalPlanner::new(config.clone(), mode);
+
+    // Warm both paths (and the cache) across both toggle phases.
+    for phase in [true, false] {
+        toggle(&mut w, &sids, &base, sids.len(), phase);
+        erms_plan_cached(app, &w, itf, &config, mode, Some(&cache)).expect("cold plan feasible");
+        planner
+            .replan_auto(app, &w, itf, Some(&cache))
+            .expect("incremental plan feasible");
+    }
+
+    // Cold baseline: full re-plan of unchanged inputs (the pre-incremental
+    // controller cost every round, merge memo warm).
+    let mut cold_wall_ms = f64::INFINITY;
+    let mut cold_allocations = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (plan, allocs) = counted(|| {
+            erms_plan_cached(app, &w, itf, &config, mode, Some(&cache)).expect("cold plan")
+        });
+        cold_wall_ms = cold_wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        cold_allocations = cold_allocations.min(allocs);
+        std::hint::black_box(plan);
+    }
+
+    let mut dirty_results = Vec::new();
+    for &fraction in fractions {
+        let dirty = ((sids.len() as f64 * fraction).round() as usize).max(1);
+        // Settle the planner on the current inputs before timing.
+        planner
+            .replan_auto(app, &w, itf, Some(&cache))
+            .expect("settle");
+        let mut wall_ms = f64::INFINITY;
+        let mut allocations = u64::MAX;
+        for rep in 0..reps.max(2) {
+            toggle(&mut w, &sids, &base, dirty, rep % 2 == 0);
+            let start = Instant::now();
+            let (_, allocs) = counted(|| {
+                planner
+                    .replan_auto(app, &w, itf, Some(&cache))
+                    .expect("incremental plan")
+            });
+            wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            allocations = allocations.min(allocs);
+        }
+        // Bit-identity gate: one more mutation, then compare the
+        // incremental result against a cold plan of the same inputs.
+        toggle(&mut w, &sids, &base, dirty, true);
+        let warm = planner
+            .replan_auto(app, &w, itf, Some(&cache))
+            .expect("incremental plan")
+            .clone();
+        let cold = erms_plan_cached(app, &w, itf, &config, mode, Some(&cache)).expect("cold plan");
+        assert_bit_identical(app, &warm, &cold);
+        // Reset to the base phase so the next fraction starts clean.
+        toggle(&mut w, &sids, &base, dirty, false);
+
+        dirty_results.push(DirtyResult {
+            fraction,
+            dirty_services: dirty,
+            wall_ms,
+            plans_per_sec: 1e3 / wall_ms.max(1e-9),
+            speedup: cold_wall_ms / wall_ms.max(1e-9),
+            allocations,
+        });
+    }
+
+    ScaleResult {
+        microservices: app.microservice_count(),
+        services: sids.len(),
+        graph_nodes,
+        cold_wall_ms,
+        cold_plans_per_sec: 1e3 / cold_wall_ms.max(1e-9),
+        cold_allocations,
+        dirty: dirty_results,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_planner.json".to_string());
+
+    let (scales, reps): (&[usize], usize) = if quick {
+        (&[100, 1000], 3)
+    } else {
+        (&[10, 100, 1000, 3000], 9)
+    };
+    let fractions = [0.01, 0.10, 0.50];
+    println!(
+        "bench_planner: scales {scales:?}, dirty fractions {fractions:?}, {reps} reps{}",
+        if quick { ", quick mode" } else { "" }
+    );
+
+    let mut results = Vec::new();
+    for &n in scales {
+        let r = bench_scale(n, &fractions, reps);
+        println!(
+            "{} microservices / {} services ({} graph nodes): cold {:.3} ms ({:.0} plans/s, {} allocs)",
+            r.microservices, r.services, r.graph_nodes, r.cold_wall_ms, r.cold_plans_per_sec,
+            r.cold_allocations
+        );
+        for d in &r.dirty {
+            println!(
+                "  {:>4.0}% dirty ({:>4} services): {:.3} ms ({:.0} plans/s), speedup {:.1}x, {} allocs (bit-identical)",
+                d.fraction * 100.0,
+                d.dirty_services,
+                d.wall_ms,
+                d.plans_per_sec,
+                d.speedup,
+                d.allocations
+            );
+        }
+        results.push(r);
+    }
+
+    let scales_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let dirty: Vec<String> = r
+                .dirty
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"fraction\": {f}, \"dirty_services\": {ds}, \"wall_ms\": {w}, \"plans_per_sec\": {p}, \"speedup\": {s}, \"allocations\": {a}, \"bit_identical\": true}}",
+                        f = json_f(d.fraction),
+                        ds = d.dirty_services,
+                        w = json_f(d.wall_ms),
+                        p = json_f(d.plans_per_sec),
+                        s = json_f(d.speedup),
+                        a = d.allocations,
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\n      \"microservices\": {m}, \"services\": {sv}, \"graph_nodes\": {gn},\n      \"cold_wall_ms\": {cw}, \"cold_plans_per_sec\": {cp}, \"cold_allocations\": {ca},\n      \"dirty\": [\n        {d}\n      ]\n    }}",
+                m = r.microservices,
+                sv = r.services,
+                gn = r.graph_nodes,
+                cw = json_f(r.cold_wall_ms),
+                cp = json_f(r.cold_plans_per_sec),
+                ca = r.cold_allocations,
+                d = dirty.join(",\n        "),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"mode\": \"priority\",\n  \"reps\": {reps},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        scales_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_planner.json");
+    println!("wrote {out_path}");
+}

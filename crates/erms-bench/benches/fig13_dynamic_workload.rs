@@ -15,7 +15,8 @@ use erms_bench::{plan_static, table};
 use erms_core::app::WorkloadVector;
 use erms_core::autoscaler::Autoscaler;
 use erms_core::latency::Interference;
-use erms_core::manager::Erms;
+use erms_core::manager::{erms_plan, Erms, SchedulingMode};
+use erms_core::scaling::ScalerConfig;
 use erms_workload::apps::social_network;
 use erms_workload::dynamic::DynamicWorkload;
 
@@ -59,6 +60,23 @@ fn main() {
             let observed = WorkloadVector::uniform(app, series[minute.saturating_sub(lag)]);
             let plan = plan_static(scheme.as_mut(), app, &observed, itf, 1)
                 .expect("dynamic plan feasible");
+            // The boxed Erms scheme persists across windows, so its
+            // per-window re-plans flow through the incremental planner —
+            // guard that each one equals a cold full re-plan.
+            if scheme.name() == "erms" {
+                let cold = erms_plan(
+                    app,
+                    &observed,
+                    itf,
+                    &ScalerConfig::default(),
+                    SchedulingMode::Priority,
+                )
+                .expect("cold plan feasible");
+                assert_eq!(
+                    plan, cold,
+                    "minute {minute}: incremental per-window plan diverged from cold re-plan"
+                );
+            }
             // Evaluate against the actual workload this minute.
             let actual = WorkloadVector::uniform(app, series[minute]);
             let (_, ratio) = evaluate_plan(app, &plan, &actual, itf, 0.3);

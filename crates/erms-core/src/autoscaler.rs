@@ -145,6 +145,12 @@ impl ScalingPlan {
         self.service_plans.get(&service)
     }
 
+    /// Mutable access to a per-service plan (used by the incremental
+    /// planner to update stored plans in place).
+    pub fn service_plan_mut(&mut self, service: ServiceId) -> Option<&mut ServicePlan> {
+        self.service_plans.get_mut(&service)
+    }
+
     /// Microservices covered by this plan.
     pub fn microservices(&self) -> impl Iterator<Item = MicroserviceId> + '_ {
         self.containers.keys().copied()

@@ -34,11 +34,24 @@
 //! long-lived controllers that re-profile in place and want to drop dead
 //! entries eagerly.
 //!
+//! # Bounded memory
+//!
+//! A long-lived controller facing continuous workload or profile drift
+//! generates an unbounded stream of *distinct* keys (every second-pass
+//! parameter vector embeds the effective workloads). To keep the memo
+//! table from growing without bound, the cache holds at most
+//! [`capacity`](PlanCache::capacity) entries (default
+//! [`PlanCache::DEFAULT_CAPACITY`]); inserting past the cap evicts the
+//! **oldest** entry first (FIFO by insertion) and bumps the
+//! [`evictions`](PlanCache::evictions) counter. Oldest-first matches the
+//! drift access pattern: entries keyed by superseded workloads are never
+//! queried again, so recency-ordering buys nothing over insertion order.
+//!
 //! The cache is `Sync`: lookups take a read lock and bump atomic hit/miss
 //! counters, so a parallel sweep can share one cache across worker threads.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::graph::DependencyGraph;
@@ -46,7 +59,8 @@ use crate::merge::{MergedGraph, VirtualParams};
 
 /// A memo table of dependency-graph merges, shareable across threads.
 ///
-/// See the [module docs](self) for the keying and invalidation rules.
+/// See the [module docs](self) for the keying, invalidation and eviction
+/// rules.
 ///
 /// ```
 /// use erms_core::cache::PlanCache;
@@ -66,11 +80,28 @@ use crate::merge::{MergedGraph, VirtualParams};
 /// assert_eq!(*cold, *warm);
 /// assert_eq!((cache.hits(), cache.misses()), (1, 1));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanCache {
-    entries: RwLock<HashMap<u64, Vec<CacheEntry>>>,
+    inner: RwLock<CacheInner>,
+    capacity: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<u64, Vec<CacheEntry>>,
+    /// Insertion order of live entries as `(key, seq)` pairs; the front is
+    /// the oldest entry and the eviction victim.
+    order: VecDeque<(u64, u64)>,
+    next_seq: u64,
 }
 
 #[derive(Debug)]
@@ -81,6 +112,8 @@ struct CacheEntry {
     graph: DependencyGraph,
     params: Vec<VirtualParams>,
     merged: Arc<MergedGraph>,
+    /// Monotone insertion stamp identifying this entry in the FIFO queue.
+    seq: u64,
 }
 
 impl CacheEntry {
@@ -101,9 +134,38 @@ fn params_bit_eq(a: &[VirtualParams], b: &[VirtualParams]) -> bool {
 }
 
 impl PlanCache {
-    /// Creates an empty cache.
+    /// Default entry cap: generous for a whole-cluster controller (two
+    /// merge trees per service per interval pass) while bounding a
+    /// drift-heavy stream to a few thousand retained trees.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` entries.
+    /// A capacity of zero disables memoization entirely (every lookup
+    /// computes and nothing is retained).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: RwLock::new(CacheInner::default()),
+            capacity: AtomicUsize::new(capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Changes the entry cap. Shrinking below the current size evicts
+    /// oldest-first on the next insertion (not eagerly).
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
     }
 
     fn key(graph: &DependencyGraph, params: &[VirtualParams]) -> u64 {
@@ -136,9 +198,10 @@ impl PlanCache {
     pub fn merged(&self, graph: &DependencyGraph, params: &[VirtualParams]) -> Arc<MergedGraph> {
         let key = Self::key(graph, params);
         if let Some(found) = self
-            .entries
+            .inner
             .read()
             .expect("plan cache poisoned")
+            .entries
             .get(&key)
             .and_then(|bucket| bucket.iter().find(|e| e.matches(graph, params)))
             .map(|e| Arc::clone(&e.merged))
@@ -148,17 +211,39 @@ impl PlanCache {
         }
         let merged = Arc::new(MergedGraph::merge(graph, params));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.write().expect("plan cache poisoned");
-        let bucket = entries.entry(key).or_default();
+        let capacity = self.capacity();
+        if capacity == 0 {
+            return merged;
+        }
+        let mut inner = self.inner.write().expect("plan cache poisoned");
         // A racing thread may have inserted the same entry between our read
         // and write; prefer the incumbent so all callers share one Arc.
-        if let Some(existing) = bucket.iter().find(|e| e.matches(graph, params)) {
+        if let Some(existing) = inner
+            .entries
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|e| e.matches(graph, params)))
+        {
             return Arc::clone(&existing.merged);
         }
-        bucket.push(CacheEntry {
+        while inner.order.len() >= capacity {
+            let (victim_key, victim_seq) =
+                inner.order.pop_front().expect("order tracks live entries");
+            if let Some(bucket) = inner.entries.get_mut(&victim_key) {
+                bucket.retain(|e| e.seq != victim_seq);
+                if bucket.is_empty() {
+                    inner.entries.remove(&victim_key);
+                }
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.order.push_back((key, seq));
+        inner.entries.entry(key).or_default().push(CacheEntry {
             graph: graph.clone(),
             params: params.to_vec(),
             merged: Arc::clone(&merged),
+            seq,
         });
         merged
     }
@@ -171,6 +256,11 @@ impl PlanCache {
     /// Number of lookups that had to compute a fresh merge.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries evicted to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Fraction of lookups served from the cache (`0.0` when unused).
@@ -186,12 +276,7 @@ impl PlanCache {
 
     /// Number of distinct memoized merges.
     pub fn len(&self) -> usize {
-        self.entries
-            .read()
-            .expect("plan cache poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.inner.read().expect("plan cache poisoned").order.len()
     }
 
     /// Whether the cache holds no entries.
@@ -199,11 +284,16 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Drops all entries and resets the hit/miss counters.
+    /// Drops all entries and resets the hit/miss/eviction counters. The
+    /// capacity is preserved.
     pub fn clear(&self) {
-        self.entries.write().expect("plan cache poisoned").clear();
+        let mut inner = self.inner.write().expect("plan cache poisoned");
+        inner.entries.clear();
+        inner.order.clear();
+        drop(inner);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -329,5 +419,65 @@ mod tests {
         });
         assert_eq!(cache.hits() + cache.misses(), 64);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capped_under_mutation_stream() {
+        // A drift stream: every round re-merges under fresh parameters, so
+        // every lookup is a distinct key. The cache must stay at its cap,
+        // evicting oldest-first and counting every eviction.
+        let graph = chain(4);
+        let cache = PlanCache::with_capacity(8);
+        assert_eq!(cache.capacity(), 8);
+        let versions: Vec<Vec<VirtualParams>> = (0..50)
+            .map(|i| params(&graph, 0.001 * (i + 1) as f64))
+            .collect();
+        for p in &versions {
+            cache.merged(&graph, p);
+        }
+        assert_eq!(cache.len(), 8, "size must stay at the cap");
+        assert_eq!(cache.misses(), 50);
+        assert_eq!(cache.evictions(), 42);
+        // The newest 8 versions survive; everything older was evicted.
+        let hits_before = cache.hits();
+        for p in &versions[42..] {
+            cache.merged(&graph, p);
+        }
+        assert_eq!(cache.hits(), hits_before + 8, "newest entries must survive");
+        cache.merged(&graph, &versions[0]);
+        assert_eq!(
+            cache.hits(),
+            hits_before + 8,
+            "oldest entry must have been evicted"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let graph = chain(3);
+        let p = params(&graph, 0.01);
+        let cache = PlanCache::with_capacity(0);
+        let a = cache.merged(&graph, &p);
+        let b = cache.merged(&graph, &p);
+        assert_eq!(*a, *b);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_applies_on_insert() {
+        let graph = chain(4);
+        let cache = PlanCache::with_capacity(16);
+        for i in 0..10 {
+            cache.merged(&graph, &params(&graph, 0.001 * (i + 1) as f64));
+        }
+        assert_eq!(cache.len(), 10);
+        cache.set_capacity(4);
+        // Not eager: shrink takes effect on the next insertion.
+        assert_eq!(cache.len(), 10);
+        cache.merged(&graph, &params(&graph, 0.5));
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 7);
     }
 }

@@ -72,6 +72,7 @@ pub mod error;
 pub mod evaluate;
 pub mod graph;
 pub mod ids;
+pub mod incremental;
 pub mod latency;
 pub mod manager;
 pub mod merge;

@@ -32,6 +32,7 @@ use crate::autoscaler::{Autoscaler, ScalingContext, ScalingPlan};
 use crate::cache::PlanCache;
 use crate::error::Result;
 use crate::ids::{MicroserviceId, ServiceId};
+use crate::incremental::{IncrementalPlanner, PlannerMetrics};
 use crate::latency::Interference;
 use crate::multiplexing::{assign_priorities, cumulative_workloads, total_workloads};
 use crate::provisioning::{provision, ClusterState, PlacementPolicy, ProvisionReport};
@@ -203,11 +204,18 @@ pub fn erms_plan_cached(
 }
 
 /// Erms as an [`Autoscaler`] for scheme comparisons.
+///
+/// Carries an [`IncrementalPlanner`] across rounds: a repeated `plan`
+/// call whose inputs barely changed (the fig13 per-window loop, sweep
+/// steps) re-plans only the dirty services. Plans stay bit-identical to
+/// [`erms_plan_cached`] on the same inputs — incrementality is purely a
+/// performance property.
 #[derive(Debug, Clone, Default)]
 pub struct Erms {
     /// Scheduling mode at shared microservices.
     pub mode: SchedulingMode,
     cache: Option<Arc<PlanCache>>,
+    planner: IncrementalPlanner,
 }
 
 impl Erms {
@@ -221,7 +229,7 @@ impl Erms {
     pub fn fcfs() -> Self {
         Self {
             mode: SchedulingMode::Fcfs,
-            cache: None,
+            ..Self::default()
         }
     }
 
@@ -231,6 +239,12 @@ impl Erms {
     pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Work counters of the carried incremental planner.
+    #[must_use]
+    pub fn planner_metrics(&self) -> PlannerMetrics {
+        self.planner.metrics()
     }
 }
 
@@ -243,14 +257,15 @@ impl Autoscaler for Erms {
     }
 
     fn plan(&mut self, ctx: &ScalingContext<'_>) -> Result<ScalingPlan> {
-        erms_plan_cached(
-            ctx.app,
-            ctx.workloads,
-            ctx.interference,
-            ctx.config,
-            self.mode,
-            self.cache.as_deref(),
-        )
+        self.planner.ensure_config(ctx.config, self.mode);
+        self.planner
+            .replan_auto(
+                ctx.app,
+                ctx.workloads,
+                ctx.interference,
+                self.cache.as_deref(),
+            )
+            .cloned()
     }
 }
 

@@ -27,6 +27,27 @@
 //! merging (`ã = a·m²`, `b̃ = b·m` for a node invoked `m` times per request,
 //! exact for sequential repeat calls); with `m = 1` everything reduces to
 //! the paper's equations verbatim.
+//!
+//! # Arena representation
+//!
+//! [`MergedGraph`] stores the merge tree as a *post-order arena* — parallel
+//! `Vec`s of kinds, parameters, child ranges into one flat child-index
+//! array, parent links and subtree sizes — rather than `Box`-linked nodes.
+//! Building a tree costs a constant number of allocations (each `Vec` is
+//! sized exactly by a pre-pass), and both the bottom-up merge and the
+//! top-down target distribution are flat index scans with no pointer
+//! chasing. Two invariants make incremental re-planning
+//! ([`crate::incremental`]) possible:
+//!
+//! * **post-order**: every node's children precede it, so an ascending
+//!   index scan is a valid bottom-up merge order and a descending scan a
+//!   valid top-down distribution order;
+//! * **contiguity**: each subtree occupies the contiguous index range
+//!   `root − subtree_size + 1 ..= root`, so an entire clean subtree can be
+//!   skipped with one index jump.
+//!
+//! The [`MergeTree`] enum is kept as an on-demand *view* for inspection and
+//! tests ([`MergedGraph::tree`]).
 
 use serde::{Deserialize, Serialize};
 
@@ -58,32 +79,54 @@ impl VirtualParams {
         }
     }
 
+    /// Bitwise equality — the comparison the incremental planner uses for
+    /// dirtiness: `-0.0 != 0.0` and `NaN == NaN`, so "unchanged" means
+    /// "replays the cold computation exactly".
+    #[must_use]
+    pub fn bits_eq(&self, other: &VirtualParams) -> bool {
+        self.a.to_bits() == other.a.to_bits()
+            && self.b.to_bits() == other.b.to_bits()
+            && self.r.to_bits() == other.r.to_bits()
+    }
+
     /// Sequential merge of several microservices (Eqs. 7–9, n-ary form).
     pub fn merge_sequential(parts: &[VirtualParams]) -> VirtualParams {
-        let sqrt_ar: f64 = parts.iter().map(|p| (p.a * p.r).sqrt()).sum();
-        let sqrt_a_over_r: f64 = parts.iter().map(|p| (p.a / p.r).sqrt()).sum();
-        let b: f64 = parts.iter().map(|p| p.b).sum();
-        VirtualParams::new(sqrt_ar * sqrt_a_over_r, b, sqrt_ar / sqrt_a_over_r)
+        Self::merge_sequential_iter(parts.iter().copied())
     }
 
     /// Parallel merge of several microservices (Eqs. 11–12, with the
     /// `nᵢ ∝ aᵢ` weighting for `R**` described in the module docs).
     pub fn merge_parallel(parts: &[VirtualParams]) -> VirtualParams {
-        let a: f64 = parts.iter().map(|p| p.a).sum();
+        Self::merge_parallel_iter(parts.iter().copied())
+    }
+
+    /// Iterator form of the sequential merge. The summation order of every
+    /// accumulator follows the iterator order; callers that need
+    /// bit-identical replays must present children in the same order.
+    fn merge_sequential_iter(parts: impl Iterator<Item = VirtualParams> + Clone) -> VirtualParams {
+        let sqrt_ar: f64 = parts.clone().map(|p| (p.a * p.r).sqrt()).sum();
+        let sqrt_a_over_r: f64 = parts.clone().map(|p| (p.a / p.r).sqrt()).sum();
+        let b: f64 = parts.map(|p| p.b).sum();
+        VirtualParams::new(sqrt_ar * sqrt_a_over_r, b, sqrt_ar / sqrt_a_over_r)
+    }
+
+    /// Iterator form of the parallel merge (same ordering caveat).
+    fn merge_parallel_iter(parts: impl Iterator<Item = VirtualParams> + Clone) -> VirtualParams {
+        let a: f64 = parts.clone().map(|p| p.a).sum();
         let b: f64 = parts
-            .iter()
+            .clone()
             .map(|p| p.b)
             .fold(f64::NEG_INFINITY, f64::max)
             .max(f64::MIN); // empty input degenerates safely
-        let ar: f64 = parts.iter().map(|p| p.a * p.r).sum();
+        let ar: f64 = parts.map(|p| p.a * p.r).sum();
         VirtualParams::new(a, b, ar / a.max(1e-12))
     }
 }
 
 /// A node of the merge tree recording how the graph was collapsed.
 ///
-/// Distributing latency targets (Fig. 8) reverses the merge by walking this
-/// tree from the root.
+/// This is the *view* form, materialized on demand by
+/// [`MergedGraph::tree`]; the planner itself walks the flat arena.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MergeTree {
     /// A real call node of the original graph.
@@ -130,10 +173,39 @@ impl MergeTree {
     }
 }
 
-/// The result of merging one service's dependency graph.
+/// Kind of one arena slot of a [`MergedGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaKind {
+    /// A real call node of the original graph.
+    Leaf(NodeId),
+    /// A virtual sequential merge (Eqs. 7–9).
+    Sequential,
+    /// A virtual parallel merge (Eqs. 11–12).
+    Parallel,
+}
+
+/// Sentinel parent index of the root.
+const NO_PARENT: u32 = u32::MAX;
+
+/// The result of merging one service's dependency graph, stored as a
+/// post-order arena (see the [module docs](self)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MergedGraph {
-    tree: MergeTree,
+    kinds: Vec<ArenaKind>,
+    params: Vec<VirtualParams>,
+    /// Parent arena index per node ([`NO_PARENT`] for the root).
+    parent: Vec<u32>,
+    /// Per node, the range `child_start..child_start + child_len` of
+    /// `children` holding its direct children, in execution order.
+    child_start: Vec<u32>,
+    child_len: Vec<u32>,
+    /// Arena size of each node's subtree (including itself); with the
+    /// post-order layout the subtree is `i + 1 - subtree_size[i] ..= i`.
+    subtree_size: Vec<u32>,
+    /// Flat child-index array all `child_start` ranges point into.
+    children: Vec<u32>,
+    /// Arena index of the leaf for each graph node (indexed by `NodeId`).
+    leaf_of: Vec<u32>,
     node_count: usize,
 }
 
@@ -144,7 +216,9 @@ impl MergedGraph {
     /// Each node's subtree is the sequential merge of the node itself with
     /// the parallel merge of each of its stages, processed bottom-up exactly
     /// as Algorithm 1's `Merge` of two-tier invocations ("merge parallel
-    /// calls first, sequential calls last").
+    /// calls first, sequential calls last"). The arena `Vec`s are sized by
+    /// a pre-pass, so the whole build performs a constant number of
+    /// allocations regardless of graph size.
     ///
     /// ```
     /// use erms_core::graph::GraphBuilder;
@@ -177,63 +251,215 @@ impl MergedGraph {
             graph.len(),
             "one VirtualParams entry required per graph node"
         );
-        let tree = Self::merge_subtree(graph, graph.root(), params);
-        Self {
-            tree,
-            node_count: graph.len(),
+        // Pre-pass: exact arena and child-array sizes.
+        let leaves = graph.len();
+        let mut sequentials = 0usize;
+        let mut parallels = 0usize;
+        let mut child_slots = 0usize;
+        for (_, node) in graph.iter() {
+            if !node.stages.is_empty() {
+                sequentials += 1;
+                child_slots += 1 + node.stages.len();
+                for stage in &node.stages {
+                    if stage.len() > 1 {
+                        parallels += 1;
+                        child_slots += stage.len();
+                    }
+                }
+            }
         }
+        let total = leaves + sequentials + parallels;
+        let mut merged = Self {
+            kinds: Vec::with_capacity(total),
+            params: Vec::with_capacity(total),
+            parent: vec![NO_PARENT; total],
+            child_start: Vec::with_capacity(total),
+            child_len: Vec::with_capacity(total),
+            subtree_size: Vec::with_capacity(total),
+            children: Vec::with_capacity(child_slots),
+            leaf_of: vec![0; leaves],
+            node_count: leaves,
+        };
+        let mut scratch: Vec<u32> = Vec::with_capacity(child_slots.max(1));
+        let root = merged.build_subtree(graph, graph.root(), params, &mut scratch);
+        debug_assert_eq!(root as usize, total - 1, "root must be the last slot");
+        merged
     }
 
-    fn merge_subtree(graph: &DependencyGraph, id: NodeId, params: &[VirtualParams]) -> MergeTree {
-        let node = graph.node(id);
-        let own = MergeTree::Leaf {
-            node: id,
-            params: params[id.index()],
-        };
-        if node.stages.is_empty() {
-            return own;
+    /// Appends one arena node whose children are `child_block`, returning
+    /// its index. Parameters are folded from the children afterwards via
+    /// [`refold`](Self::refold) so cold build and incremental recompute
+    /// share one code path (and hence one floating-point op order).
+    fn push_node(&mut self, kind: ArenaKind, size: u32, child_block: &[u32]) -> u32 {
+        let idx = self.kinds.len() as u32;
+        let start = self.children.len() as u32;
+        self.children.extend_from_slice(child_block);
+        for &c in child_block {
+            self.parent[c as usize] = idx;
         }
-        // Merge parallel calls first (Algorithm 1, line 24-27) ...
-        let mut seq_parts: Vec<MergeTree> = vec![own];
+        self.kinds.push(kind);
+        // Placeholder until folded (leaves overwrite it directly).
+        self.params.push(VirtualParams::new(1.0, 0.0, 1.0));
+        self.child_start.push(start);
+        self.child_len.push(child_block.len() as u32);
+        self.subtree_size.push(size);
+        idx
+    }
+
+    fn build_subtree(
+        &mut self,
+        graph: &DependencyGraph,
+        id: NodeId,
+        params: &[VirtualParams],
+        scratch: &mut Vec<u32>,
+    ) -> u32 {
+        let node = graph.node(id);
+        let leaf = self.push_node(ArenaKind::Leaf(id), 1, &[]);
+        self.params[leaf as usize] = params[id.index()];
+        self.leaf_of[id.index()] = leaf;
+        if node.stages.is_empty() {
+            return leaf;
+        }
+        // Merge parallel calls first (Algorithm 1, lines 24–27) ...
+        let mark = scratch.len();
+        scratch.push(leaf);
+        let mut size = 1u32; // the own leaf
         for stage in &node.stages {
-            let merged_children: Vec<MergeTree> = stage
-                .iter()
-                .map(|&c| Self::merge_subtree(graph, c, params))
-                .collect();
-            if merged_children.len() == 1 {
-                seq_parts.extend(merged_children);
+            if stage.len() == 1 {
+                let child = self.build_subtree(graph, stage[0], params, scratch);
+                size += self.subtree_size[child as usize];
+                scratch.push(child);
             } else {
-                let p = VirtualParams::merge_parallel(
-                    &merged_children
-                        .iter()
-                        .map(MergeTree::params)
-                        .collect::<Vec<_>>(),
-                );
-                seq_parts.push(MergeTree::Parallel {
-                    params: p,
-                    children: merged_children,
-                });
+                let stage_mark = scratch.len();
+                let mut stage_size = 1u32; // the parallel node itself
+                for &gc in stage {
+                    let child = self.build_subtree(graph, gc, params, scratch);
+                    stage_size += self.subtree_size[child as usize];
+                    scratch.push(child);
+                }
+                let par = {
+                    let block = &scratch[stage_mark..];
+                    // Split the borrow: the block lives in `scratch`, not
+                    // in `self`, so push_node may mutate the arena.
+                    let par = self.push_node(ArenaKind::Parallel, stage_size, block);
+                    self.refold(par as usize);
+                    par
+                };
+                scratch.truncate(stage_mark);
+                scratch.push(par);
+                size += stage_size;
             }
         }
         // ... then merge sequential calls (the node plus each stage).
-        let p = VirtualParams::merge_sequential(
-            &seq_parts.iter().map(MergeTree::params).collect::<Vec<_>>(),
-        );
-        MergeTree::Sequential {
-            params: p,
-            children: seq_parts,
-        }
+        size += 1; // the sequential node itself
+        let seq = self.push_node(ArenaKind::Sequential, size, &scratch[mark..]);
+        self.refold(seq as usize);
+        scratch.truncate(mark);
+        seq
     }
 
-    /// The merge tree.
-    pub fn tree(&self) -> &MergeTree {
-        &self.tree
+    /// Recomputes node `i`'s parameters from its children (in child order)
+    /// and stores them, returning the new value. The single source of the
+    /// fold order for both cold builds and incremental re-merges.
+    pub(crate) fn refold(&mut self, i: usize) -> VirtualParams {
+        let folded = match self.kinds[i] {
+            ArenaKind::Leaf(_) => self.params[i],
+            ArenaKind::Sequential => VirtualParams::merge_sequential_iter(
+                self.children_of(i).iter().map(|&c| self.params[c as usize]),
+            ),
+            ArenaKind::Parallel => VirtualParams::merge_parallel_iter(
+                self.children_of(i).iter().map(|&c| self.params[c as usize]),
+            ),
+        };
+        self.params[i] = folded;
+        folded
+    }
+
+    /// Overwrites the folded parameters of the leaf standing for graph
+    /// node `node`. Ancestors are stale until re-folded bottom-up.
+    pub(crate) fn set_leaf_params(&mut self, node: NodeId, params: VirtualParams) {
+        let leaf = self.leaf_of[node.index()] as usize;
+        self.params[leaf] = params;
+    }
+
+    /// Number of arena slots (leaves + virtual merge nodes).
+    pub fn arena_len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Arena index of the root (always the last slot, by post-order).
+    pub fn root_index(&self) -> usize {
+        self.kinds.len() - 1
+    }
+
+    /// Kind of arena slot `i`.
+    pub fn kind(&self, i: usize) -> ArenaKind {
+        self.kinds[i]
+    }
+
+    /// Folded parameters of arena slot `i`.
+    pub fn node_params(&self, i: usize) -> VirtualParams {
+        self.params[i]
+    }
+
+    /// Direct children of arena slot `i`, in execution order.
+    pub fn children_of(&self, i: usize) -> &[u32] {
+        let start = self.child_start[i] as usize;
+        &self.children[start..start + self.child_len[i] as usize]
+    }
+
+    /// Parent of arena slot `i`, or `None` for the root.
+    pub fn parent_of(&self, i: usize) -> Option<usize> {
+        let p = self.parent[i];
+        (p != NO_PARENT).then_some(p as usize)
+    }
+
+    /// Size (in arena slots) of the subtree rooted at `i`, including `i`;
+    /// the subtree occupies `i + 1 - subtree_size(i) ..= i`.
+    pub fn subtree_size(&self, i: usize) -> usize {
+        self.subtree_size[i] as usize
+    }
+
+    /// Arena index of the leaf standing for graph node `node`.
+    pub fn leaf_index(&self, node: NodeId) -> usize {
+        self.leaf_of[node.index()] as usize
+    }
+
+    /// Materializes the [`MergeTree`] view of the arena (for inspection
+    /// and tests; the planner walks the arena directly).
+    pub fn tree(&self) -> MergeTree {
+        self.build_tree(self.root_index())
+    }
+
+    fn build_tree(&self, i: usize) -> MergeTree {
+        match self.kinds[i] {
+            ArenaKind::Leaf(node) => MergeTree::Leaf {
+                node,
+                params: self.params[i],
+            },
+            ArenaKind::Sequential => MergeTree::Sequential {
+                params: self.params[i],
+                children: self
+                    .children_of(i)
+                    .iter()
+                    .map(|&c| self.build_tree(c as usize))
+                    .collect(),
+            },
+            ArenaKind::Parallel => MergeTree::Parallel {
+                params: self.params[i],
+                children: self
+                    .children_of(i)
+                    .iter()
+                    .map(|&c| self.build_tree(c as usize))
+                    .collect(),
+            },
+        }
     }
 
     /// The merged whole-graph parameters — a single virtual microservice
     /// standing for the entire service.
     pub fn params(&self) -> VirtualParams {
-        self.tree.params()
+        self.params[self.root_index()]
     }
 
     /// The latency floor: the smallest end-to-end latency achievable with
@@ -241,6 +467,37 @@ impl MergedGraph {
     /// intercept sum).
     pub fn floor_ms(&self) -> f64 {
         self.params().b
+    }
+
+    /// Sequential-split totals of node `i` (Eq. 5): `Σ bⱼ` over children
+    /// and `Σ √(aⱼ·Rⱼ)` over children, each summed in child order.
+    pub(crate) fn seq_totals(&self, i: usize) -> (f64, f64) {
+        let total_b: f64 = self
+            .children_of(i)
+            .iter()
+            .map(|&c| self.params[c as usize].b)
+            .sum();
+        let total_w: f64 = self
+            .children_of(i)
+            .iter()
+            .map(|&c| {
+                let p = self.params[c as usize];
+                (p.a * p.r).sqrt()
+            })
+            .sum();
+        (total_b, total_w)
+    }
+
+    /// Budget node `i` hands to child `c` given its own budget and the
+    /// precomputed [`seq_totals`](Self::seq_totals). One expression shared
+    /// by the full scan and the incremental scan, so both produce the same
+    /// floating-point bits.
+    pub(crate) fn seq_child_budget(&self, c: usize, budget: f64, totals: (f64, f64)) -> f64 {
+        let (total_b, total_w) = totals;
+        let slack = budget - total_b;
+        let p = self.params[c];
+        let w = (p.a * p.r).sqrt() / total_w;
+        p.b + w * slack
     }
 
     /// Distributes an end-to-end latency budget over all real call nodes
@@ -257,38 +514,34 @@ impl MergedGraph {
             return None;
         }
         let mut targets = vec![f64::NAN; self.node_count];
-        Self::distribute(&self.tree, sla_ms, &mut targets);
+        let mut budgets = vec![0.0f64; self.kinds.len()];
+        self.distribute_all(sla_ms, &mut budgets, &mut targets);
         Some(targets)
     }
 
-    fn distribute(tree: &MergeTree, budget: f64, out: &mut [f64]) {
-        match tree {
-            MergeTree::Leaf { node, .. } => {
-                out[node.index()] = budget;
-            }
-            MergeTree::Parallel { children, .. } => {
+    /// Full top-down distribution: a descending index scan (parents before
+    /// children, by post-order). `budgets` is per arena slot; `out` is per
+    /// graph node.
+    pub(crate) fn distribute_all(&self, root_budget: f64, budgets: &mut [f64], out: &mut [f64]) {
+        budgets[self.root_index()] = root_budget;
+        for i in (0..self.kinds.len()).rev() {
+            let budget = budgets[i];
+            match self.kinds[i] {
+                ArenaKind::Leaf(node) => out[node.index()] = budget,
                 // Optimal parallel targets are equal (Eq. 10).
-                for child in children {
-                    Self::distribute(child, budget, out);
+                ArenaKind::Parallel => {
+                    for &c in self.children_of(i) {
+                        budgets[c as usize] = budget;
+                    }
                 }
-            }
-            MergeTree::Sequential { children, .. } => {
                 // Eq. (5): target_i = b_i + w_i · (budget − Σ b_j) with
                 // w_i = √(a_i R_i) / Σ √(a_j R_j); the common workload γ
                 // cancels out of the weights.
-                let total_b: f64 = children.iter().map(|c| c.params().b).sum();
-                let total_w: f64 = children
-                    .iter()
-                    .map(|c| {
-                        let p = c.params();
-                        (p.a * p.r).sqrt()
-                    })
-                    .sum();
-                let slack = budget - total_b;
-                for child in children {
-                    let p = child.params();
-                    let w = (p.a * p.r).sqrt() / total_w;
-                    Self::distribute(child, p.b + w * slack, out);
+                ArenaKind::Sequential => {
+                    let totals = self.seq_totals(i);
+                    for &c in self.children_of(i) {
+                        budgets[c as usize] = self.seq_child_budget(c as usize, budget, totals);
+                    }
                 }
             }
         }
@@ -414,6 +667,57 @@ mod tests {
             other => panic!("unexpected root {other:?}"),
         }
         assert_eq!(merged.tree().leaf_count(), 4);
+    }
+
+    #[test]
+    fn arena_is_post_order_and_contiguous() {
+        let (graph, _) = fig7_graph();
+        let merged = MergedGraph::merge(&graph, &fig7_params());
+        // 4 leaves + 1 parallel + 1 sequential.
+        assert_eq!(merged.arena_len(), 6);
+        assert_eq!(merged.root_index(), 5);
+        assert_eq!(merged.subtree_size(merged.root_index()), 6);
+        for i in 0..merged.arena_len() {
+            // Children precede their parent (post-order)...
+            for &c in merged.children_of(i) {
+                assert!((c as usize) < i, "child {c} of {i} must precede it");
+                assert_eq!(merged.parent_of(c as usize), Some(i));
+            }
+            // ... and each subtree is a contiguous range ending at its
+            // root: every slot inside (other than the root) has its parent
+            // inside too.
+            let lo = i + 1 - merged.subtree_size(i);
+            for j in lo..i {
+                let p = merged.parent_of(j).expect("non-root inside a subtree");
+                assert!((lo..=i).contains(&p), "subtree {lo}..={i} leaks via {j}");
+            }
+        }
+        // The root has no parent; every graph node maps to its leaf.
+        assert_eq!(merged.parent_of(merged.root_index()), None);
+        for (id, _) in graph.iter() {
+            assert!(matches!(
+                merged.kind(merged.leaf_index(id)),
+                ArenaKind::Leaf(n) if n == id
+            ));
+        }
+    }
+
+    #[test]
+    fn refold_is_idempotent_on_a_cold_build() {
+        let (graph, _) = fig7_graph();
+        let mut merged = MergedGraph::merge(&graph, &fig7_params());
+        let before: Vec<VirtualParams> = (0..merged.arena_len())
+            .map(|i| merged.node_params(i))
+            .collect();
+        for i in 0..merged.arena_len() {
+            merged.refold(i);
+        }
+        for (i, b) in before.iter().enumerate() {
+            assert!(
+                merged.node_params(i).bits_eq(b),
+                "refold changed bits at slot {i}"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub use crate::evaluate::{
 };
 pub use crate::graph::{DependencyGraph, GraphBuilder, Node};
 pub use crate::ids::{MicroserviceId, NodeId, ServiceId};
+pub use crate::incremental::{IncrementalPlanner, PlannerMetrics};
 pub use crate::latency::{
     CutoffModel, Interference, Interval, LatencyProfile, LinearParams, Segment,
 };

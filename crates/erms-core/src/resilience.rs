@@ -44,8 +44,9 @@ use crate::autoscaler::ScalingPlan;
 use crate::cache::PlanCache;
 use crate::error::Error;
 use crate::ids::{MicroserviceId, ServiceId};
+use crate::incremental::{IncrementalPlanner, PlannerMetrics};
 use crate::latency::Interference;
-use crate::manager::{erms_plan_cached, SchedulingMode};
+use crate::manager::SchedulingMode;
 use crate::provisioning::{provision, ClusterState, PlacementPolicy, ProvisionReport};
 use crate::scaling::ScalerConfig;
 
@@ -240,6 +241,12 @@ pub struct ResilientManager {
     /// the first round every rung replays cached merges — `Default` gives
     /// each manager its own empty cache, and `Clone` shares it.
     cache: Arc<PlanCache>,
+    /// Incremental planning engine: carries last round's plan state so a
+    /// round whose inputs barely changed re-plans only the dirty services
+    /// (bit-identical to a cold plan by construction). Errors drop its
+    /// state, so ladder behaviour is unchanged — a failed plan is retried
+    /// cold next round.
+    planner: IncrementalPlanner,
 }
 
 impl ResilientManager {
@@ -260,6 +267,18 @@ impl ResilientManager {
     /// hit/miss counters for observability and tests.
     pub fn plan_cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// Work counters of the incremental planning engine backing rung 0
+    /// (full builds, services replanned vs. reused, re-merged nodes).
+    pub fn planner_metrics(&self) -> PlannerMetrics {
+        self.planner.metrics()
+    }
+
+    /// Drops the incremental planner's carried state; the next round plans
+    /// from scratch (the merge-tree memo is unaffected).
+    pub fn invalidate_planner(&mut self) {
+        self.planner.invalidate();
     }
 
     /// Reports of every round run so far, in order — the audit trail of
@@ -293,14 +312,13 @@ impl ResilientManager {
         // it was never re-validated — so the staleness bound genuinely
         // limits how long a broken planner can coast.
         let mut fresh = true;
-        let mut plan = match erms_plan_cached(
-            app,
-            workloads,
-            itf,
-            &self.config.scaler,
-            self.config.mode,
-            Some(&self.cache),
-        ) {
+        self.planner
+            .ensure_config(&self.config.scaler, self.config.mode);
+        let mut plan = match self
+            .planner
+            .replan_auto(app, workloads, itf, Some(&self.cache))
+            .cloned()
+        {
             Ok(plan) => plan,
             Err(err) => {
                 report.errors.push(err);
@@ -381,14 +399,11 @@ impl ResilientManager {
                         );
                     }
                     let shed = self.shed_workloads(app, workloads, attempt, &mut report);
-                    match erms_plan_cached(
-                        app,
-                        &shed,
-                        itf,
-                        &self.config.scaler,
-                        self.config.mode,
-                        Some(&self.cache),
-                    ) {
+                    match self
+                        .planner
+                        .replan_auto(app, &shed, itf, Some(&self.cache))
+                        .cloned()
+                    {
                         Ok(replanned) => {
                             plan = replanned;
                             self.apply_hysteresis(round, &mut plan, &mut report);

@@ -234,7 +234,7 @@ pub struct ServicePlan {
 
 impl ServicePlan {
     /// An all-zero plan for an idle service (zero workload).
-    fn idle(app: &App, service: ServiceId) -> Result<Self> {
+    pub(crate) fn idle(app: &App, service: ServiceId) -> Result<Self> {
         let svc = app.service(service)?;
         let node_count = svc.graph.len();
         let mut ms_targets = BTreeMap::new();

@@ -45,6 +45,15 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Sets counter `name` to an absolute value. For mirroring an
+    /// externally accumulated monotone counter (planner metrics, cache
+    /// hit/miss totals) into the registry at report time: the source owns
+    /// the accumulation, the registry snapshots it. Merging registries
+    /// still *adds* counters, so mirror each source into only one replica.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
     /// Sets gauge `name` to `value` (last write wins).
     pub fn set_gauge(&mut self, name: &str, value: f64) {
         self.gauges.insert(name.to_owned(), value);
@@ -120,6 +129,36 @@ impl MetricsRegistry {
     }
 }
 
+/// Mirrors incremental-planner and merge-memo counters into `registry`
+/// under the `planner.*` / `plan_cache.*` namespaces, so control-loop
+/// reports carry planning-work telemetry next to latency sketches.
+///
+/// Uses [`MetricsRegistry::set_counter`]: the planner and cache own the
+/// accumulation; calling this repeatedly snapshots their latest totals.
+pub fn record_planner_metrics(
+    registry: &mut MetricsRegistry,
+    metrics: &erms_core::incremental::PlannerMetrics,
+    cache: Option<&erms_core::cache::PlanCache>,
+) {
+    registry.set_counter("planner.rounds", metrics.rounds);
+    registry.set_counter("planner.full_builds", metrics.full_builds);
+    registry.set_counter("planner.initial_replans", metrics.initial_replans);
+    registry.set_counter("planner.services_replanned", metrics.services_replanned);
+    registry.set_counter("planner.services_reused", metrics.services_reused);
+    registry.set_counter("planner.dirty_leaves", metrics.dirty_leaves);
+    registry.set_counter("planner.remerged_nodes", metrics.remerged_nodes);
+    registry.set_counter("planner.redistributed_nodes", metrics.redistributed_nodes);
+    registry.set_counter("planner.cold_passes", metrics.cold_passes);
+    registry.set_counter("planner.priority_resorts", metrics.priority_resorts);
+    if let Some(cache) = cache {
+        registry.set_counter("plan_cache.hits", cache.hits());
+        registry.set_counter("plan_cache.misses", cache.misses());
+        registry.set_counter("plan_cache.evictions", cache.evictions());
+        registry.set_gauge("plan_cache.len", cache.len() as f64);
+        registry.set_gauge("plan_cache.hit_rate", cache.hit_rate());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +175,32 @@ mod tests {
         assert_eq!(r.counter("absent"), 0);
         assert_eq!(r.gauge("sampling"), Some(0.01));
         assert_eq!(r.sketch("latency_ms").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn planner_metrics_mirror_into_registry() {
+        use erms_core::cache::PlanCache;
+        use erms_core::incremental::PlannerMetrics;
+
+        let mut r = MetricsRegistry::new();
+        let mut m = PlannerMetrics {
+            rounds: 4,
+            services_reused: 9,
+            dirty_leaves: 3,
+            ..Default::default()
+        };
+        let cache = PlanCache::new();
+        record_planner_metrics(&mut r, &m, Some(&cache));
+        assert_eq!(r.counter("planner.rounds"), 4);
+        assert_eq!(r.counter("planner.services_reused"), 9);
+        assert_eq!(r.counter("planner.dirty_leaves"), 3);
+        assert_eq!(r.counter("plan_cache.evictions"), 0);
+        assert_eq!(r.gauge("plan_cache.len"), Some(0.0));
+
+        // Snapshot semantics: a second mirror overwrites, not adds.
+        m.rounds = 5;
+        record_planner_metrics(&mut r, &m, Some(&cache));
+        assert_eq!(r.counter("planner.rounds"), 5);
     }
 
     #[test]

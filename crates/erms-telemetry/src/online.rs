@@ -137,6 +137,17 @@ impl RefitOutcome {
     pub fn changed(&self) -> bool {
         !self.refitted.is_empty()
     }
+
+    /// The refit expressed as an advisory planner delta: exactly the
+    /// microservices whose profile changed this round. Feed this to
+    /// [`IncrementalPlanner::replan`](erms_core::incremental::IncrementalPlanner::replan)
+    /// so a refit of a few microservices re-plans only the services that
+    /// call them. (The delta is advisory — the planner self-detects
+    /// changes bit-exactly even with an empty delta.)
+    #[must_use]
+    pub fn plan_delta(&self) -> erms_core::incremental::PlanDelta {
+        erms_core::incremental::PlanDelta::of_microservices(self.refitted.iter().copied())
+    }
 }
 
 /// Accumulates windowed observations across rounds and re-fits

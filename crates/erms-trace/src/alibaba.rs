@@ -284,7 +284,10 @@ pub fn generate(config: &AlibabaConfig) -> GeneratedApp {
 
 /// Worst-path sum of low-interval intercepts — a lower bound on achievable
 /// end-to-end latency used to pick feasible SLAs.
-fn worst_path_intercept(builder: &AppBuilder, graph: &erms_core::graph::DependencyGraph) -> f64 {
+pub(crate) fn worst_path_intercept(
+    builder: &AppBuilder,
+    graph: &erms_core::graph::DependencyGraph,
+) -> f64 {
     fn walk(builder: &AppBuilder, graph: &erms_core::graph::DependencyGraph, node: NodeId) -> f64 {
         let n = graph.node(node);
         let own = builder

@@ -28,3 +28,4 @@ pub mod cluster;
 pub mod extract;
 pub mod span;
 pub mod store;
+pub mod synth;

@@ -1,0 +1,224 @@
+//! Deterministic synthetic applications for planner scalability runs.
+//!
+//! The Alibaba generator ([`crate::alibaba`]) reproduces the *statistics*
+//! of the paper's production traces (Zipf sharing, Fig. 2 CDF). The
+//! planner scalability harness needs something slightly different: a dial
+//! that sweeps total application size from ~10 up to several thousand
+//! microservices while holding the *shape* — sharing fraction, fan-out,
+//! graph depth — fixed, so cold-plan vs. incremental-re-plan timings are
+//! comparable across scale points.
+//!
+//! [`SynthConfig`] therefore controls sharing *structurally* instead of
+//! statistically: the microservice pool is split into a shared segment
+//! (drawn by every service with probability [`sharing`](SynthConfig::sharing))
+//! and per-service private slices (drawn otherwise), so the number of
+//! shared microservices and the per-service graph size scale linearly and
+//! predictably with the pool. Generation is fully deterministic in the
+//! seed — two calls with equal configs produce equal apps, which the
+//! benchmarks rely on when asserting incremental plans bit-identical to
+//! cold plans.
+
+use erms_core::app::Sla;
+use erms_core::graph::GraphBuilder;
+use erms_core::ids::{MicroserviceId, NodeId};
+use erms_core::prelude::AppBuilder;
+use erms_core::resources::Resources;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::alibaba::{random_profile, worst_path_intercept, GeneratedApp};
+
+/// Configuration of the scalability generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Total microservice pool (the scale axis: 10 → several thousand).
+    pub microservices: usize,
+    /// Number of online services.
+    pub services: usize,
+    /// Target dependency-graph size per service (exact node budget; the
+    /// realised size can fall short only when the depth cap binds).
+    pub nodes_per_service: usize,
+    /// Size of the shared segment of the pool; every service draws from
+    /// it with probability [`sharing`](Self::sharing). The rest of the
+    /// pool is split into per-service private slices.
+    pub shared_pool: usize,
+    /// Probability that a call-graph node targets the shared segment.
+    pub sharing: f64,
+    /// Probability that a new stage is parallel (fan-out > 1).
+    pub parallel_prob: f64,
+    /// Maximum fan-out of a parallel stage.
+    pub max_fanout: usize,
+    /// Maximum graph depth.
+    pub max_depth: usize,
+    /// SLA = worst-path latency floor × this factor (deterministic, so
+    /// every generated service is feasible by construction).
+    pub sla_headroom: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            microservices: 100,
+            services: 10,
+            nodes_per_service: 12,
+            shared_pool: 10,
+            sharing: 0.3,
+            parallel_prob: 0.35,
+            max_fanout: 3,
+            max_depth: 6,
+            sla_headroom: 6.0,
+            seed: 7,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// The canonical scale sweep point: an application with a pool of
+    /// `microservices`, services and sharing derived so the shape stays
+    /// fixed as the pool grows.
+    pub fn scaled(microservices: usize, seed: u64) -> Self {
+        Self {
+            microservices,
+            services: (microservices / 10).max(2),
+            shared_pool: (microservices / 10).max(1),
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a deterministic synthetic application per `config`.
+pub fn generate(config: &SynthConfig) -> GeneratedApp {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut builder = AppBuilder::new("synth-scalability");
+
+    let pool: Vec<MicroserviceId> = (0..config.microservices.max(1))
+        .map(|i| {
+            builder.microservice(
+                format!("ms-{i}"),
+                random_profile(&mut rng),
+                Resources::default(),
+            )
+        })
+        .collect();
+    let shared = config.shared_pool.clamp(1, pool.len());
+    let private = &pool[shared..];
+    let services = config.services.max(1);
+
+    let mut service_specs = Vec::with_capacity(services);
+    for s in 0..services {
+        // The private slice of service `s`: an even, contiguous cut of the
+        // non-shared pool (empty when the pool is all shared).
+        let slice_len = private.len() / services;
+        let slice = if slice_len == 0 {
+            &pool[..shared]
+        } else {
+            &private[s * slice_len..(s + 1) * slice_len]
+        };
+        let draw = |rng: &mut rand::rngs::StdRng| -> MicroserviceId {
+            if rng.gen_bool(config.sharing.clamp(0.0, 1.0)) {
+                pool[rng.gen_range(0..shared)]
+            } else {
+                slice[rng.gen_range(0..slice.len())]
+            }
+        };
+        let mut g = GraphBuilder::new();
+        let root = g.entry(draw(&mut rng));
+        let mut frontier: Vec<(NodeId, usize)> = vec![(root, 0)];
+        let mut node_count = 1usize;
+        while node_count < config.nodes_per_service && !frontier.is_empty() {
+            let pick = rng.gen_range(0..frontier.len());
+            let (parent, depth) = frontier[pick];
+            if depth + 1 >= config.max_depth.max(2) {
+                frontier.swap_remove(pick);
+                continue;
+            }
+            let width = if rng.gen_bool(config.parallel_prob.clamp(0.0, 1.0)) {
+                rng.gen_range(2..=config.max_fanout.max(2))
+            } else {
+                1
+            };
+            let width = width.min(config.nodes_per_service - node_count).max(1);
+            let mss: Vec<MicroserviceId> = (0..width).map(|_| draw(&mut rng)).collect();
+            let children = if width == 1 {
+                vec![g.call_seq(parent, mss[0])]
+            } else {
+                g.call_par(parent, &mss)
+            };
+            node_count += width;
+            for c in children {
+                frontier.push((c, depth + 1));
+            }
+            if rng.gen_bool(0.4) {
+                frontier.swap_remove(pick);
+            }
+        }
+        service_specs.push((format!("service-{s}"), g.build().expect("entry declared")));
+    }
+
+    let mut sharing_counts: std::collections::BTreeMap<MicroserviceId, usize> = Default::default();
+    for (name, graph) in service_specs {
+        for ms in graph.microservices() {
+            *sharing_counts.entry(ms).or_insert(0) += 1;
+        }
+        let floor = worst_path_intercept(&builder, &graph);
+        let sla = Sla::p95_ms((floor * config.sla_headroom.max(1.5)).max(10.0));
+        builder.raw_service(name, sla, graph);
+    }
+
+    GeneratedApp {
+        sharing_counts: sharing_counts.values().copied().collect(),
+        app: builder.build().expect("generated app is valid"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_requested_pool() {
+        let g = generate(&SynthConfig::scaled(1000, 3));
+        assert_eq!(g.app.microservice_count(), 1000);
+        assert_eq!(g.app.service_count(), 100);
+        assert!(
+            g.shared_count() >= 10,
+            "shared pool must actually be shared"
+        );
+        for (_, svc) in g.app.services() {
+            assert!(!svc.graph.microservices().is_empty());
+            assert!(svc.sla.threshold_ms.is_finite() && svc.sla.threshold_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn tiny_scale_works() {
+        let g = generate(&SynthConfig::scaled(10, 1));
+        assert_eq!(g.app.microservice_count(), 10);
+        assert!(g.app.service_count() >= 2);
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let a = generate(&SynthConfig::scaled(120, 9));
+        let b = generate(&SynthConfig::scaled(120, 9));
+        assert_eq!(a.app, b.app);
+        let c = generate(&SynthConfig::scaled(120, 10));
+        assert_ne!(a.app, c.app, "different seeds must differ");
+    }
+
+    #[test]
+    fn sharing_dial_controls_shared_count() {
+        let none = generate(&SynthConfig {
+            sharing: 0.0,
+            ..SynthConfig::scaled(200, 5)
+        });
+        let heavy = generate(&SynthConfig {
+            sharing: 0.8,
+            ..SynthConfig::scaled(200, 5)
+        });
+        assert!(heavy.shared_count() > none.shared_count());
+    }
+}

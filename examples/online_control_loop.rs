@@ -17,7 +17,10 @@ use std::collections::BTreeMap;
 use erms::core::prelude::*;
 use erms::sim::runtime::{SimConfig, Simulation};
 use erms::sim::service_time::{derive_from_profile, ServiceTimeModel};
-use erms::telemetry::{OnlineProfiler, TelemetryCollector, TelemetryConfig, WindowConfig};
+use erms::telemetry::metrics::record_planner_metrics;
+use erms::telemetry::{
+    MetricsRegistry, OnlineProfiler, TelemetryCollector, TelemetryConfig, WindowConfig,
+};
 use erms::workload::apps::fig5_app;
 
 const SLA_MS: f64 = 300.0;
@@ -150,17 +153,23 @@ fn main() {
         profiler.ingest(&collector, &containers, itf);
     }
 
-    // Closed loop: re-fit, re-plan, observe the new deployment, repeat.
-    let mut fitted_app = profiler.refit(&app).app;
+    // Closed loop: re-fit, re-plan incrementally, observe the new
+    // deployment, repeat. The refit outcome names exactly which
+    // microservices drifted, so each re-plan touches only the services
+    // calling them — while staying bit-identical to a cold plan.
+    let mut planner = IncrementalPlanner::new(ScalerConfig::default(), SchedulingMode::Priority);
+    let cache = PlanCache::new();
+    let mut refit = profiler.refit(&app);
     for round in 1..=3u64 {
-        let plan = match ErmsScaler::new(&fitted_app).plan(&w, itf) {
-            Ok(plan) => plan,
+        let delta = refit.plan_delta();
+        let plan = match planner.replan(&refit.app, &w, itf, &delta, Some(&cache)) {
+            Ok(plan) => plan.clone(),
             Err(e) => {
                 println!("round {round}: planning failed ({e}); keeping deployment");
                 break;
             }
         };
-        (containers, priorities) = plan_inputs(&fitted_app, &plan);
+        (containers, priorities) = plan_inputs(&refit.app, &plan);
         let mut collector = TelemetryCollector::for_app(
             &app,
             TelemetryConfig {
@@ -183,10 +192,26 @@ fn main() {
         );
         if p95 <= SLA_MS {
             println!("\nSLA restored by the online loop in {round} re-plan round(s).");
+            print_planner_report(&planner, &cache);
             return;
         }
         profiler.ingest(&collector, &containers, itf);
-        fitted_app = profiler.refit(&app).app;
+        refit = profiler.refit(&app);
     }
     println!("\nloop budget exhausted without restoring the SLA");
+    print_planner_report(&planner, &cache);
+}
+
+/// Mirrors the planner work counters into a telemetry registry and prints
+/// them — the observability half of the incremental-planning loop.
+fn print_planner_report(planner: &IncrementalPlanner, cache: &PlanCache) {
+    let mut registry = MetricsRegistry::new();
+    record_planner_metrics(&mut registry, &planner.metrics(), Some(cache));
+    println!("\nplanner telemetry:");
+    for (name, value) in registry.counters() {
+        println!("  {name:<28} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        println!("  {name:<28} {value:.3}");
+    }
 }

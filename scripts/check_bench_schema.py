@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Schema guard for the committed BENCH_*.json snapshots.
+
+Each bench harness asserts correctness (bit-identity to a reference
+implementation) before writing its JSON, so a snapshot that parses but
+lacks a required key means the harness and the committed artifact have
+drifted apart — e.g. a renamed field that EXPERIMENTS.md tables and the
+CI smoke runs silently stop checking. This script fails CI on any
+missing key, extra top-level snapshots are allowed.
+
+Usage: python3 scripts/check_bench_schema.py [repo_root]
+Also accepts explicit paths to quick-mode snapshots to validate CI runs:
+    python3 scripts/check_bench_schema.py --file BENCH_planner.json /tmp/x.json
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Dotted key paths that must exist in each committed snapshot. "[]" means
+# "every element of this (non-empty) array".
+REQUIRED = {
+    "BENCH_des.json": [
+        "quick",
+        "threads",
+        "engine.events",
+        "engine.dense_events_per_sec",
+        "engine.speedup",
+        "engine.bit_identical",
+        "replication.replications",
+        "replication.speedup",
+        "replication.bit_identical",
+    ],
+    "BENCH_sweep.json": [
+        "quick",
+        "threads",
+        "grid.cells",
+        "sweep.serial_ms",
+        "sweep.parallel_ms",
+        "sweep.speedup",
+        "sweep.bit_identical",
+        "plan_cache.hits",
+        "plan_cache.misses",
+        "plan_cache.hit_rate",
+        "simulator.events_per_sec",
+    ],
+    "BENCH_telemetry.json": [
+        "quick",
+        "sink.sampling",
+        "sink.overhead_pct",
+        "sink.bit_identical",
+        "sketch.inserts_per_sec",
+        "sketch.merges_per_sec",
+    ],
+    "BENCH_planner.json": [
+        "quick",
+        "mode",
+        "reps",
+        "scales.[].microservices",
+        "scales.[].services",
+        "scales.[].graph_nodes",
+        "scales.[].cold_wall_ms",
+        "scales.[].cold_plans_per_sec",
+        "scales.[].cold_allocations",
+        "scales.[].dirty.[].fraction",
+        "scales.[].dirty.[].dirty_services",
+        "scales.[].dirty.[].wall_ms",
+        "scales.[].dirty.[].plans_per_sec",
+        "scales.[].dirty.[].speedup",
+        "scales.[].dirty.[].allocations",
+        "scales.[].dirty.[].bit_identical",
+    ],
+}
+
+
+def lookup(obj, parts):
+    """Yields every value at the dotted path, fanning out at "[]"."""
+    if not parts:
+        yield obj
+        return
+    head, rest = parts[0], parts[1:]
+    if head == "[]":
+        if not isinstance(obj, list):
+            raise KeyError("expected an array")
+        if not obj:
+            raise KeyError("expected a non-empty array")
+        for item in obj:
+            yield from lookup(item, rest)
+    else:
+        if not isinstance(obj, dict) or head not in obj:
+            raise KeyError(head)
+        yield from lookup(obj[head], rest)
+
+
+def check(path: Path, required) -> list:
+    errors = []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable ({e})"]
+    for key in required:
+        try:
+            for value in lookup(data, key.split(".")):
+                if value is None:
+                    errors.append(f"{path}: key '{key}' is null")
+        except KeyError as e:
+            errors.append(f"{path}: missing key '{key}' (at {e})")
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) >= 3 and argv[0] == "--file":
+        name, targets = argv[1], [Path(p) for p in argv[2:]]
+        if name not in REQUIRED:
+            print(f"unknown schema '{name}'; known: {sorted(REQUIRED)}")
+            return 2
+        pairs = [(t, REQUIRED[name]) for t in targets]
+    else:
+        root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+        pairs = [(root / name, req) for name, req in sorted(REQUIRED.items())]
+
+    errors = []
+    for path, required in pairs:
+        errs = check(path, required)
+        errors.extend(errs)
+        status = "FAIL" if errs else "ok"
+        print(f"{status:>4}  {path}")
+    for e in errors:
+        print(f"  {e}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -159,26 +159,52 @@ fn resilience_ladder_with_warm_cache_matches_cold_cache_exactly() {
 }
 
 #[test]
-fn resilient_manager_cache_hits_accumulate_across_rounds() {
+fn resilient_manager_reuses_plans_across_unchanged_rounds() {
     let app = shared_app();
     let mut mgr = ResilientManager::new(ResilienceConfig::default());
     let mut state = ClusterState::paper_cluster();
 
     let w = workloads(&app, 9_000.0);
-    mgr.run_round(&app, &mut state, &w);
-    let (h1, m1) = (mgr.plan_cache().hits(), mgr.plan_cache().misses());
+    let first = mgr.run_round(&app, &mut state, &w);
+    let m1 = mgr.plan_cache().misses();
     assert!(m1 > 0, "first round must populate the memo");
+    assert_eq!(mgr.planner_metrics().full_builds, 1);
 
-    mgr.run_round(&app, &mut state, &w);
+    // The incremental planner detects that nothing changed: the second
+    // round re-plans no service and performs no merge lookups at all —
+    // stronger than replaying merges from the memo.
+    let reused_before = mgr.planner_metrics().services_reused;
+    let second = mgr.run_round(&app, &mut state, &w);
     assert_eq!(
         mgr.plan_cache().misses(),
         m1,
         "second round over unchanged inputs must not re-derive any merge tree"
     );
-    assert!(
-        mgr.plan_cache().hits() > h1,
-        "second round must replay from the memo"
+    assert_eq!(
+        mgr.planner_metrics().services_reused - reused_before,
+        app.service_count() as u64,
+        "the final planning pass must reuse every service"
     );
+    assert_eq!(
+        first.plan, second.plan,
+        "reused plan must equal the originally derived plan"
+    );
+
+    // A planner invalidation forces the next round back through the merge
+    // memo, which must now replay warm (cache hits).
+    let h2 = mgr.plan_cache().hits();
+    mgr.invalidate_planner();
+    let third = mgr.run_round(&app, &mut state, &w);
+    assert_eq!(
+        mgr.plan_cache().misses(),
+        m1,
+        "cold rebuild over unchanged inputs replays the memo, not re-derives"
+    );
+    assert!(
+        mgr.plan_cache().hits() > h2,
+        "cold rebuild must hit the warm memo"
+    );
+    assert_eq!(first.plan, third.plan);
 }
 
 /// A manager cloned from another shares the same memo (`Clone` shares the
