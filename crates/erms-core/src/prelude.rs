@@ -21,11 +21,11 @@ pub use crate::latency::{
 pub use crate::manager::{Erms, ErmsManager, ErmsScaler, SchedulingMode};
 pub use crate::merge::{MergeTree, MergedGraph, VirtualParams};
 pub use crate::multiplexing::{SchemeComparison, SharingScenario};
-pub use crate::provisioning::{ClusterState, Host, PlacementPolicy};
+pub use crate::provisioning::{ClusterState, FailureDomain, Host, HostLifecycle, PlacementPolicy};
 pub use crate::resilience::{
     FallbackAction, ResilienceConfig, ResilienceReport, ResilientManager, ResilientOutcome,
 };
-pub use crate::resources::{ClusterCapacity, Resources};
+pub use crate::resources::{ClusterCapacity, HostClass, Resources};
 pub use crate::scaling::{
     allocate_chain, chain_resource_usage, containers_for_profile, containers_for_target,
     invert_profile, ChainItem, ScalerConfig, ServicePlan,

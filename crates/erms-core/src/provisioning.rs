@@ -28,6 +28,43 @@ use crate::autoscaler::ScalingPlan;
 use crate::error::{Error, Result};
 use crate::ids::MicroserviceId;
 use crate::latency::Interference;
+use crate::resources::HostClass;
+
+/// Procurement model of a host: stable on-demand capacity or reclaimable
+/// spot capacity.
+///
+/// Spot hosts are cheap elastic capacity the provider may take back with an
+/// advance notice; the provisioning layer cordons a host once a reclamation
+/// notice is posted, and the spot-aware resilience ladder evacuates its
+/// containers to surviving capacity inside the grace window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum HostLifecycle {
+    /// Regular capacity: stays until it fails.
+    #[default]
+    OnDemand,
+    /// Reclaimable capacity: the provider may post a reclamation notice and
+    /// take the host back after a grace window.
+    Spot,
+}
+
+/// Physical failure domain of a host. Hosts sharing a rack share a switch
+/// and a power feed; hosts sharing a zone share cooling and a power grid —
+/// so faults are *correlated* along these coordinates, and
+/// `ClusterFaultPlan::FailDomain` can take out a whole rack or zone at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct FailureDomain {
+    /// Availability zone index.
+    pub zone: u32,
+    /// Rack index within the zone.
+    pub rack: u32,
+}
+
+impl FailureDomain {
+    /// Creates a (zone, rack) coordinate.
+    pub fn new(zone: u32, rack: u32) -> Self {
+        Self { zone, rack }
+    }
+}
 
 /// One physical host: capacity, invisible background (batch) usage, and the
 /// containers currently placed on it.
@@ -42,25 +79,89 @@ pub struct Host {
     pub background_cpu: f64,
     /// Memory used by colocated batch jobs (MB).
     pub background_mem: f64,
+    /// Procurement model (on-demand vs reclaimable spot).
+    pub lifecycle: HostLifecycle,
+    /// Physical (zone, rack) coordinate for correlated failures.
+    pub domain: FailureDomain,
+    /// Multiplier on utilisation-derived interference (from the host class;
+    /// 1.0 = paper-uniform behaviour).
+    pub interference_scale: f64,
+    /// Pending reclamation notice: the controller round at (or after) which
+    /// the provider takes this host back. `None` = no notice posted.
+    pub reclaim_at_round: Option<u64>,
     containers: BTreeMap<MicroserviceId, u32>,
+    /// Vertical-scaling factors: per-microservice multiplier on container
+    /// resource requests (resize-in-place). Absent = 1.0.
+    resize: BTreeMap<MicroserviceId, u64>,
 }
 
 impl Host {
-    /// Creates an empty host. The paper's hosts have 32 cores and 64 GB
-    /// (§6.1).
+    /// Creates an empty on-demand host with neutral interference in domain
+    /// (0, 0). The paper's hosts have 32 cores and 64 GB (§6.1).
     pub fn new(cpu_capacity: f64, mem_capacity: f64) -> Self {
         Self {
             cpu_capacity,
             mem_capacity,
             background_cpu: 0.0,
             background_mem: 0.0,
+            lifecycle: HostLifecycle::OnDemand,
+            domain: FailureDomain::default(),
+            interference_scale: 1.0,
+            reclaim_at_round: None,
             containers: BTreeMap::new(),
+            resize: BTreeMap::new(),
         }
     }
 
     /// A paper-shaped host (32 cores, 64 GB).
     pub fn paper_host() -> Self {
         Self::new(32.0, 64.0 * 1024.0)
+    }
+
+    /// Creates an empty host shaped by a [`HostClass`].
+    pub fn from_class(class: &HostClass) -> Self {
+        let mut host = Self::new(class.cpu, class.memory_mb);
+        host.interference_scale = class.interference_scale;
+        host
+    }
+
+    /// Builder: sets the procurement lifecycle.
+    pub fn with_lifecycle(mut self, lifecycle: HostLifecycle) -> Self {
+        self.lifecycle = lifecycle;
+        self
+    }
+
+    /// Builder: sets the (zone, rack) failure domain.
+    pub fn with_domain(mut self, domain: FailureDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Whether this is reclaimable spot capacity.
+    pub fn is_spot(&self) -> bool {
+        self.lifecycle == HostLifecycle::Spot
+    }
+
+    /// Whether a reclamation notice is pending on this host.
+    pub fn reclaiming(&self) -> bool {
+        self.reclaim_at_round.is_some()
+    }
+
+    /// The vertical-scaling factor applied to containers of `ms` on this
+    /// host (1.0 when never resized).
+    pub fn resize_factor(&self, ms: MicroserviceId) -> f64 {
+        self.resize
+            .get(&ms)
+            .map(|&bits| f64::from_bits(bits))
+            .unwrap_or(1.0)
+    }
+
+    fn set_resize(&mut self, ms: MicroserviceId, factor: f64) {
+        if (factor - 1.0).abs() < 1e-12 {
+            self.resize.remove(&ms);
+        } else {
+            self.resize.insert(ms, factor.to_bits());
+        }
     }
 
     /// Containers of `ms` currently on this host.
@@ -73,14 +174,16 @@ impl Host {
         self.containers.values().sum()
     }
 
-    /// CPU and memory consumed by placed containers (by request size).
+    /// CPU and memory consumed by placed containers (by request size,
+    /// scaled by any vertical-resize factor in effect).
     fn container_usage(&self, app: &App) -> (f64, f64) {
         let mut cpu = 0.0;
         let mut mem = 0.0;
         for (&ms, &count) in &self.containers {
             if let Ok(m) = app.microservice(ms) {
-                cpu += m.resources.cpu * count as f64;
-                mem += m.resources.memory_mb * count as f64;
+                let factor = self.resize_factor(ms);
+                cpu += m.resources.cpu * factor * count as f64;
+                mem += m.resources.memory_mb * factor * count as f64;
             }
         }
         (cpu, mem)
@@ -106,10 +209,21 @@ impl Host {
         )
     }
 
-    /// The interference containers on this host experience (§5.2 uses host
-    /// CPU and memory utilisation).
-    pub fn interference(&self, app: &App) -> Interference {
+    /// Utilisation scaled by the host class's interference profile — the
+    /// pressure colocated containers actually *feel* on this hardware.
+    /// Identical to [`Host::utilization`] when `interference_scale == 1.0`.
+    pub fn felt_utilization(&self, app: &App) -> (f64, f64) {
         let (c, m) = self.utilization(app);
+        (
+            (c * self.interference_scale).clamp(0.0, 1.0),
+            (m * self.interference_scale).clamp(0.0, 1.0),
+        )
+    }
+
+    /// The interference containers on this host experience (§5.2 uses host
+    /// CPU and memory utilisation, here scaled by the class profile).
+    pub fn interference(&self, app: &App) -> Interference {
+        let (c, m) = self.felt_utilization(app);
         Interference::new(c, m)
     }
 }
@@ -118,12 +232,19 @@ impl Host {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterState {
     hosts: Vec<Host>,
+    /// Cluster-wide vertical-scaling factors (f64 bit patterns), mirrored
+    /// onto every host so per-host utilisation stays self-contained. Kept
+    /// here so hosts added later inherit the factors.
+    resize: BTreeMap<MicroserviceId, u64>,
 }
 
 impl ClusterState {
     /// Creates a cluster of identical empty hosts.
     pub fn new(hosts: Vec<Host>) -> Self {
-        Self { hosts }
+        Self {
+            hosts,
+            resize: BTreeMap::new(),
+        }
     }
 
     /// The paper's 20-host evaluation cluster (§6.1).
@@ -166,7 +287,7 @@ impl ClusterState {
         let (c, m) = self
             .hosts
             .iter()
-            .map(|h| h.utilization(app))
+            .map(|h| h.felt_utilization(app))
             .fold((0.0, 0.0), |(ac, am), (c, m)| (ac + c, am + m));
         Interference::new(c / n, m / n)
     }
@@ -180,7 +301,7 @@ impl ClusterState {
         for h in &self.hosts {
             let count = h.containers_of(ms) as f64;
             if count > 0.0 {
-                let (c, m) = h.utilization(app);
+                let (c, m) = h.felt_utilization(app);
                 cpu += c * count;
                 mem += m * count;
                 weight += count;
@@ -194,7 +315,12 @@ impl ClusterState {
     }
 
     /// Appends a host to the cluster (e.g. a replacement after a failure).
+    /// The host inherits any cluster-wide vertical-resize factors.
     pub fn add_host(&mut self, host: Host) {
+        let mut host = host;
+        for (&ms, &bits) in &self.resize {
+            host.set_resize(ms, f64::from_bits(bits));
+        }
         self.hosts.push(host);
     }
 
@@ -259,11 +385,157 @@ impl ClusterState {
         self.hosts
             .iter()
             .map(|h| {
-                let (c, m) = h.utilization(app);
+                let (c, m) = h.felt_utilization(app);
                 (c - mean.cpu).powi(2) + (m - mean.memory).powi(2)
             })
             .sum::<f64>()
             / n
+    }
+
+    // ---- vertical scaling (resize-in-place) ----------------------------
+
+    /// The cluster-wide vertical-scaling factor in effect for `ms`.
+    pub fn resize_factor(&self, ms: MicroserviceId) -> f64 {
+        self.resize
+            .get(&ms)
+            .map(|&bits| f64::from_bits(bits))
+            .unwrap_or(1.0)
+    }
+
+    /// Resizes every container of `ms` in place: existing and future
+    /// containers request `factor` × their configured resources. This is
+    /// the second actuator next to horizontal replicas — under a capacity
+    /// crunch the ladder squeezes containers before shedding demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive (a controller bug, not
+    /// an operational condition).
+    pub fn resize_in_place(&mut self, ms: MicroserviceId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "resize factor must be finite and positive"
+        );
+        if (factor - 1.0).abs() < 1e-12 {
+            self.resize.remove(&ms);
+        } else {
+            self.resize.insert(ms, factor.to_bits());
+        }
+        for h in &mut self.hosts {
+            h.set_resize(ms, factor);
+        }
+    }
+
+    /// Applies one vertical-scaling factor to every microservice of `app`.
+    /// `factor = 1.0` restores full-size containers.
+    pub fn set_uniform_resize(&mut self, app: &App, factor: f64) {
+        for (ms, _) in app.microservices() {
+            self.resize_in_place(ms, factor);
+        }
+    }
+
+    // ---- spot reclamation control plane --------------------------------
+
+    /// Number of spot hosts currently in the cluster.
+    pub fn spot_host_count(&self) -> usize {
+        self.hosts.iter().filter(|h| h.is_spot()).count()
+    }
+
+    /// Posts a reclamation notice on host `index`: the provider takes the
+    /// host back at controller round `due_round`. The host is cordoned
+    /// immediately (no new placements land on it). Returns `false` when
+    /// `index` is out of bounds.
+    pub fn post_reclaim_notice(&mut self, index: usize, due_round: u64) -> bool {
+        match self.hosts.get_mut(index) {
+            Some(h) => {
+                h.reclaim_at_round = Some(due_round);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Posts reclamation notices on up to `count` spot hosts without a
+    /// pending notice (lowest index first — deterministic), due at
+    /// `due_round`. Returns how many notices were posted. This is the
+    /// "burst reclamation" the provider issues when it wants capacity back.
+    pub fn post_spot_reclamations(&mut self, count: usize, due_round: u64) -> usize {
+        let mut posted = 0;
+        for h in &mut self.hosts {
+            if posted >= count {
+                break;
+            }
+            if h.is_spot() && !h.reclaiming() {
+                h.reclaim_at_round = Some(due_round);
+                posted += 1;
+            }
+        }
+        posted
+    }
+
+    /// Indices of hosts with a pending reclamation notice.
+    pub fn reclaiming_hosts(&self) -> Vec<usize> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.reclaiming())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Executes every reclamation whose notice is due at or before `round`:
+    /// the provider takes the hosts back, destroying any containers still
+    /// resident. Returns `(hosts_reclaimed, containers_lost)`.
+    pub fn execute_due_reclamations(&mut self, round: u64) -> (usize, u32) {
+        let mut hosts = 0;
+        let mut containers = 0u32;
+        let mut i = self.hosts.len();
+        while i > 0 {
+            i -= 1;
+            if matches!(self.hosts[i].reclaim_at_round, Some(due) if due <= round) {
+                containers += self.hosts[i].container_count();
+                self.hosts.remove(i);
+                hosts += 1;
+            }
+        }
+        (hosts, containers)
+    }
+
+    /// Drains every container off hosts with a pending reclamation notice —
+    /// the evacuation half of the spot-aware ladder rung. The drained
+    /// containers are *not* re-placed here; the caller re-runs
+    /// [`provision`] so they land on surviving capacity under the normal
+    /// placement policy. Returns `(hosts_drained, containers_drained)`.
+    pub fn evacuate_reclaiming(&mut self) -> (usize, u32) {
+        let mut hosts = 0;
+        let mut containers = 0u32;
+        for h in &mut self.hosts {
+            if h.reclaiming() {
+                hosts += 1;
+                containers += h.container_count();
+                h.containers.clear();
+            }
+        }
+        (hosts, containers)
+    }
+
+    /// Fails every host in a (zone, rack) coordinate — or a whole zone when
+    /// `rack` is `None` — the correlated-failure fault. All resident
+    /// containers are lost. Returns `(hosts_failed, containers_lost)`.
+    pub fn fail_domain(&mut self, zone: u32, rack: Option<u32>) -> (usize, u32) {
+        let mut hosts = 0;
+        let mut containers = 0u32;
+        let mut i = self.hosts.len();
+        while i > 0 {
+            i -= 1;
+            let d = self.hosts[i].domain;
+            if d.zone == zone && rack.is_none_or(|r| d.rack == r) {
+                containers += self.hosts[i].container_count();
+                self.hosts.remove(i);
+                hosts += 1;
+            }
+        }
+        (hosts, containers)
     }
 }
 
@@ -309,11 +581,28 @@ pub fn provision(
     plan: &ScalingPlan,
     policy: PlacementPolicy,
 ) -> Result<ProvisionReport> {
+    provision_with_resize(state, app, plan, policy, 1.0)
+}
+
+/// [`provision`] with a uniform vertical-scaling factor applied first:
+/// every container of `app` requests `resize_factor` × its configured
+/// resources. `1.0` restores full-size containers, so a plain
+/// [`provision`] call after a squeezed round automatically grows the
+/// containers back. Transactional like [`provision`]: on error `state`
+/// keeps its previous contents *and* its previous resize factors.
+pub fn provision_with_resize(
+    state: &mut ClusterState,
+    app: &App,
+    plan: &ScalingPlan,
+    policy: PlacementPolicy,
+    resize_factor: f64,
+) -> Result<ProvisionReport> {
     // Work on a scratch copy and commit atomically on success. A journal of
     // inverse operations would avoid the clone, but cluster states are small
     // (a few dozen hosts with per-microservice counters) and the clone makes
     // the rollback trivially correct under every failure path.
     let mut working = state.clone();
+    working.set_uniform_resize(app, resize_factor);
     let report = provision_in_place(&mut working, app, plan, policy)?;
     *state = working;
     Ok(report)
@@ -327,18 +616,22 @@ fn provision_in_place(
     plan: &ScalingPlan,
     policy: PlacementPolicy,
 ) -> Result<ProvisionReport> {
-    // Capacity sanity check on CPU.
+    // Capacity sanity check on CPU. Hosts with a pending reclamation
+    // notice are cordoned: they contribute no capacity and accept no new
+    // placements — whatever lands there would be destroyed at the grace
+    // deadline anyway.
     let requested: f64 = plan
         .iter()
         .map(|(ms, c)| {
             app.microservice(ms)
-                .map(|m| m.resources.cpu * c as f64)
+                .map(|m| m.resources.cpu * state.resize_factor(ms) * c as f64)
                 .unwrap_or(0.0)
         })
         .sum();
     let available: f64 = state
         .hosts
         .iter()
+        .filter(|h| !h.reclaiming())
         .map(|h| (h.cpu_capacity - h.background_cpu).max(0.0))
         .sum();
     if requested > available {
@@ -390,31 +683,29 @@ fn provision_in_place(
     let mut next_group = 0usize;
     for (ms, target) in plan.iter() {
         let m = app.microservice(ms)?;
+        let factor = state.resize_factor(ms);
+        let (need_cpu, need_mem) = (m.resources.cpu * factor, m.resources.memory_mb * factor);
         let mut current = state.containers_of(ms);
         while current < target {
             // Candidate hosts: the POP group for interference-aware mode,
-            // the whole cluster for the Kubernetes baseline.
+            // the whole cluster for the Kubernetes baseline. Cordoned
+            // (reclaiming) hosts are never candidates.
             let group = next_group % group_count;
             next_group += 1;
+            let fits = |i: usize| -> bool {
+                let h = &state.hosts[i];
+                let (cpu, mem) = h.container_usage(app);
+                !h.reclaiming()
+                    && cpu + h.background_cpu + need_cpu <= h.cpu_capacity
+                    && mem + h.background_mem + need_mem <= h.mem_capacity
+            };
             let candidates: Vec<usize> = (0..host_count)
                 .filter(|i| group_count == 1 || i % group_count == group)
-                .filter(|&i| {
-                    let h = &state.hosts[i];
-                    let (cpu, mem) = h.container_usage(app);
-                    cpu + h.background_cpu + m.resources.cpu <= h.cpu_capacity
-                        && mem + h.background_mem + m.resources.memory_mb <= h.mem_capacity
-                })
+                .filter(|&i| fits(i))
                 .collect();
             let candidates = if candidates.is_empty() {
                 // Group full: fall back to any host with room.
-                (0..host_count)
-                    .filter(|&i| {
-                        let h = &state.hosts[i];
-                        let (cpu, mem) = h.container_usage(app);
-                        cpu + h.background_cpu + m.resources.cpu <= h.cpu_capacity
-                            && mem + h.background_mem + m.resources.memory_mb <= h.mem_capacity
-                    })
-                    .collect()
+                (0..host_count).filter(|&i| fits(i)).collect()
             } else {
                 candidates
             };
@@ -428,10 +719,13 @@ fn provision_in_place(
                             c + mm
                         }
                         PlacementPolicy::InterferenceAware { .. } => {
-                            // Actual utilisation including background load:
-                            // filling the least-utilised host is the greedy
-                            // step that most reduces unbalance.
-                            let (c, mm) = h.utilization(app);
+                            // Actual utilisation including background load,
+                            // scaled by the host class's interference
+                            // profile: filling the host where the new
+                            // container would *feel* the least pressure is
+                            // the greedy step that most reduces unbalance
+                            // across a heterogeneous mix.
+                            let (c, mm) = h.felt_utilization(app);
                             c + mm
                         }
                     }
@@ -604,5 +898,156 @@ mod tests {
         let (app, _) = app_with_one_ms();
         let state = cluster(3);
         assert!(state.unbalance(&app) < 1e-12);
+    }
+
+    #[test]
+    fn host_from_class_carries_shape_and_scale() {
+        let h = Host::from_class(&HostClass::large());
+        assert_eq!(h.cpu_capacity, 64.0);
+        assert_eq!(h.interference_scale, 0.9);
+        assert!(!h.is_spot());
+        let s = Host::from_class(&HostClass::small()).with_lifecycle(HostLifecycle::Spot);
+        assert!(s.is_spot());
+    }
+
+    #[test]
+    fn interference_scale_shifts_placement_across_classes() {
+        let (app, ms) = app_with_one_ms();
+        // Two hosts with identical capacity and background load; the noisy
+        // class (scale > 1) must receive fewer containers.
+        let mut noisy = Host::paper_host();
+        noisy.interference_scale = 1.5;
+        let mut state = ClusterState::new(vec![Host::paper_host(), noisy]);
+        state.hosts_mut()[0].background_cpu = 8.0;
+        state.hosts_mut()[1].background_cpu = 8.0;
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 10);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        assert!(
+            state.hosts()[0].containers_of(ms) > state.hosts()[1].containers_of(ms),
+            "quiet host should win: {} vs {}",
+            state.hosts()[0].containers_of(ms),
+            state.hosts()[1].containers_of(ms)
+        );
+    }
+
+    #[test]
+    fn cordoned_host_receives_no_placements() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = cluster(3);
+        assert!(state.post_reclaim_notice(1, 5));
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 12);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        assert_eq!(state.hosts()[1].containers_of(ms), 0);
+        assert_eq!(state.containers_of(ms), 12);
+    }
+
+    #[test]
+    fn reclamation_lifecycle_notice_evacuate_execute() {
+        let (app, ms) = app_with_one_ms();
+        let spot = Host::paper_host().with_lifecycle(HostLifecycle::Spot);
+        let mut state = ClusterState::new(vec![Host::paper_host(), spot.clone(), spot]);
+        assert_eq!(state.spot_host_count(), 2);
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 9);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+
+        // Provider wants one spot host back at round 4.
+        assert_eq!(state.post_spot_reclamations(1, 4), 1);
+        assert_eq!(state.reclaiming_hosts(), vec![1]);
+        // Nothing due yet at round 3.
+        assert_eq!(state.execute_due_reclamations(3), (0, 0));
+        assert_eq!(state.len(), 3);
+
+        // Evacuate, re-place, then execute: no containers are lost.
+        let (hosts, drained) = state.evacuate_reclaiming();
+        assert_eq!(hosts, 1);
+        assert!(drained > 0);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        let (gone, lost) = state.execute_due_reclamations(4);
+        assert_eq!((gone, lost), (1, 0));
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.containers_of(ms), 9);
+    }
+
+    #[test]
+    fn unevacuated_reclamation_destroys_containers() {
+        let (app, ms) = app_with_one_ms();
+        let spot = Host::paper_host().with_lifecycle(HostLifecycle::Spot);
+        let mut state = ClusterState::new(vec![Host::paper_host(), spot]);
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 8);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        let on_spot = state.hosts()[1].containers_of(ms);
+        assert!(on_spot > 0);
+        state.post_spot_reclamations(1, 2);
+        let (gone, lost) = state.execute_due_reclamations(2);
+        assert_eq!(gone, 1);
+        assert_eq!(lost, on_spot);
+        assert_eq!(state.containers_of(ms), 8 - on_spot);
+    }
+
+    #[test]
+    fn fail_domain_takes_rack_and_zone() {
+        let mk = |zone, rack| Host::paper_host().with_domain(FailureDomain::new(zone, rack));
+        let mut state = ClusterState::new(vec![mk(0, 0), mk(0, 0), mk(0, 1), mk(1, 0)]);
+        // Rack (0, 0): two hosts.
+        assert_eq!(state.fail_domain(0, Some(0)).0, 2);
+        assert_eq!(state.len(), 2);
+        // Whole zone 0: the remaining (0, 1) host.
+        assert_eq!(state.fail_domain(0, None).0, 1);
+        assert_eq!(state.len(), 1);
+        assert_eq!(state.hosts()[0].domain, FailureDomain::new(1, 0));
+    }
+
+    #[test]
+    fn resize_in_place_squeezes_and_restores() {
+        let (app, ms) = app_with_one_ms();
+        // One 8-core host: 8 full-size (1.0-core) containers fill it.
+        let mut state = ClusterState::new(vec![Host::new(8.0, 64.0 * 1024.0)]);
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 10);
+        assert!(matches!(
+            provision(&mut state, &app, &plan, PlacementPolicy::default()),
+            Err(Error::InsufficientCapacity { .. })
+        ));
+        // At 0.75× each container requests 0.75 cores: 10 fit.
+        provision_with_resize(&mut state, &app, &plan, PlacementPolicy::default(), 0.75).unwrap();
+        assert_eq!(state.containers_of(ms), 10);
+        assert_eq!(state.resize_factor(ms), 0.75);
+        let (cpu, _) = state.hosts()[0].utilization(&app);
+        assert!(cpu <= 1.0 + 1e-9);
+        // A plain provision at a feasible target restores full size.
+        plan.set_containers(ms, 6);
+        provision(&mut state, &app, &plan, PlacementPolicy::default()).unwrap();
+        assert_eq!(state.resize_factor(ms), 1.0);
+        assert_eq!(state.hosts()[0].resize_factor(ms), 1.0);
+    }
+
+    #[test]
+    fn failed_resize_leaves_factors_untouched() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = ClusterState::new(vec![Host::new(4.0, 64.0 * 1024.0)]);
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 100);
+        let before = state.clone();
+        assert!(
+            provision_with_resize(&mut state, &app, &plan, PlacementPolicy::default(), 0.5)
+                .is_err()
+        );
+        assert_eq!(state, before);
+        assert_eq!(state.resize_factor(ms), 1.0);
+    }
+
+    #[test]
+    fn added_host_inherits_resize_factors() {
+        let (app, ms) = app_with_one_ms();
+        let mut state = ClusterState::new(vec![Host::new(8.0, 64.0 * 1024.0)]);
+        let mut plan = ScalingPlan::new("t");
+        plan.set_containers(ms, 10);
+        provision_with_resize(&mut state, &app, &plan, PlacementPolicy::default(), 0.5).unwrap();
+        state.add_host(Host::paper_host());
+        assert_eq!(state.hosts()[1].resize_factor(ms), 0.5);
     }
 }

@@ -22,11 +22,20 @@
 //!    minimum delta, and direction flips within a cooldown window, so
 //!    noise in the observed interference cannot flap the deployment
 //!    between rounds. Explicit scale-to-zero is always honoured.
-//! 3. **Provision.** Apply the plan transactionally. On
+//! 3. **Evacuate.** (Spot-aware rung.) When any host carries a pending
+//!    spot-reclamation notice, drain its containers *before* the grace
+//!    deadline so the subsequent provisioning pass re-places them on
+//!    surviving capacity — losing nothing when the provider takes the host
+//!    back. Disabled by [`ResilienceConfig::spot_aware`] `= false`, which
+//!    reproduces the PR-1 reactive ladder.
+//! 4. **Provision.** Apply the plan transactionally. On
 //!    [`Error::InsufficientCapacity`], first retry with a relaxed
-//!    placement policy (whole-cluster instead of POP groups), then
-//!    proportionally shed the demand of the lowest-priority services
-//!    (loosest SLA first) and re-plan, up to
+//!    placement policy (whole-cluster instead of POP groups), then —
+//!    resize-before-shed — vertically squeeze every container by
+//!    [`ResilienceConfig::resize_step`] per attempt down to
+//!    [`ResilienceConfig::min_resize`], and only when squeezed containers
+//!    still do not fit, proportionally shed the demand of the
+//!    lowest-priority services (loosest SLA first) and re-plan, up to
 //!    [`ResilienceConfig::max_shed_attempts`] times.
 //!
 //! Every fallback taken is recorded in a [`ResilienceReport`] so
@@ -47,7 +56,7 @@ use crate::ids::{MicroserviceId, ServiceId};
 use crate::incremental::{IncrementalPlanner, PlannerMetrics};
 use crate::latency::Interference;
 use crate::manager::SchedulingMode;
-use crate::provisioning::{provision, ClusterState, PlacementPolicy, ProvisionReport};
+use crate::provisioning::{provision_with_resize, ClusterState, PlacementPolicy, ProvisionReport};
 use crate::scaling::ScalerConfig;
 
 /// Tunables of the degradation ladder and the hysteresis filter.
@@ -79,6 +88,17 @@ pub struct ResilienceConfig {
     /// Rounds after a rescaling during which an opposite-direction
     /// rescaling of the same microservice is suppressed.
     pub cooldown_rounds: u64,
+    /// Whether the spot-aware rungs run: evacuate hosts with pending
+    /// reclamation notices before provisioning, and vertically squeeze
+    /// containers (resize-in-place) before shedding demand. `false`
+    /// reproduces the original reactive ladder.
+    pub spot_aware: bool,
+    /// Fraction by which the resize rung shrinks container requests per
+    /// squeeze step (`factor ← factor · (1 − resize_step)`).
+    pub resize_step: f64,
+    /// Floor of the vertical-scaling factor; below this the ladder stops
+    /// squeezing and starts shedding demand instead.
+    pub min_resize: f64,
 }
 
 impl Default for ResilienceConfig {
@@ -93,6 +113,9 @@ impl Default for ResilienceConfig {
             min_delta: 2,
             min_delta_fraction: 0.1,
             cooldown_rounds: 1,
+            spot_aware: true,
+            resize_step: 0.15,
+            min_resize: 0.6,
         }
     }
 }
@@ -132,6 +155,21 @@ pub enum FallbackAction {
         from: PlacementPolicy,
         /// The policy retried with.
         to: PlacementPolicy,
+    },
+    /// Hosts with pending spot-reclamation notices were drained so their
+    /// containers could be re-placed on surviving capacity inside the
+    /// grace window.
+    SpotEvacuation {
+        /// Number of reclaiming hosts drained.
+        hosts: usize,
+        /// Containers drained (and re-placed by the provisioning pass).
+        containers: u32,
+    },
+    /// Containers were vertically squeezed (resize-in-place) to fit a
+    /// capacity crunch before any demand was shed.
+    ResizeInPlace {
+        /// The uniform vertical-scaling factor now in effect (< 1).
+        factor: f64,
     },
     /// A service's demand was proportionally shed before re-planning.
     ShedDemand {
@@ -357,14 +395,37 @@ impl ResilientManager {
 
         self.apply_hysteresis(round, &mut plan, &mut report);
 
-        // Rungs 1–2: provision; on capacity failure relax placement, then
-        // shed demand and re-plan.
+        // Everything below mutates a working copy of the cluster and commits
+        // only on success, so a skipped round — even one that evacuated spot
+        // hosts or squeezed containers along the way — leaves `state`
+        // exactly as it was.
+        let mut working = state.clone();
+
+        // Spot-aware rung: hosts with pending reclamation notices are
+        // drained now, so the provisioning pass below re-places their
+        // containers on surviving capacity inside the grace window. The
+        // reactive ladder (spot_aware = false) leaves them in place and
+        // loses them when the provider executes the reclamation.
+        if self.config.spot_aware {
+            let (hosts, containers) = working.evacuate_reclaiming();
+            if hosts > 0 {
+                report
+                    .actions
+                    .push(FallbackAction::SpotEvacuation { hosts, containers });
+            }
+        }
+
+        // Remaining rungs: provision; on capacity failure relax placement,
+        // then squeeze containers (resize-before-shed), then shed demand
+        // and re-plan.
         let mut policy = self.config.placement;
         let mut relaxed = false;
         let mut attempt = 0usize;
+        let mut resize_factor = 1.0f64;
         loop {
-            match provision(state, app, &plan, policy) {
+            match provision_with_resize(&mut working, app, &plan, policy, resize_factor) {
                 Ok(prov) => {
+                    *state = working;
                     self.commit(round, &plan, fresh);
                     self.history.push(report.clone());
                     return ResilientOutcome {
@@ -386,6 +447,20 @@ impl ResilientManager {
                             policy = next;
                             continue;
                         }
+                    }
+                    // Resize-before-shed: shrink every container's request
+                    // until the floor, keeping all replicas (and hence all
+                    // demand) alive at reduced per-container capacity.
+                    if self.config.spot_aware
+                        && self.config.resize_step > 0.0
+                        && resize_factor > self.config.min_resize + 1e-9
+                    {
+                        resize_factor = (resize_factor * (1.0 - self.config.resize_step))
+                            .max(self.config.min_resize);
+                        report.actions.push(FallbackAction::ResizeInPlace {
+                            factor: resize_factor,
+                        });
+                        continue;
                     }
                     attempt += 1;
                     if attempt > self.config.max_shed_attempts {
@@ -666,9 +741,12 @@ mod tests {
         let app = two_service_app(300.0, 600.0);
         // Two small hosts: the full plan cannot fit, a shed plan can.
         let mut state = ClusterState::new(vec![Host::new(8.0, 16_384.0), Host::new(8.0, 16_384.0)]);
+        // spot_aware = false: this test pins the *reactive* shed path, with
+        // the resize-before-shed rung out of the way.
         let mut mgr = ResilientManager::new(ResilienceConfig {
             max_shed_attempts: 8,
             shed_step: 0.5,
+            spot_aware: false,
             ..ResilienceConfig::default()
         });
         let outcome = mgr.run_round(&app, &mut state, &workloads(&app, 60_000.0));
@@ -778,6 +856,154 @@ mod tests {
         let settled = mgr.run_round(&app, &mut state, &low);
         assert!(settled.applied());
         assert!(settled.plan.unwrap().total_containers() < up_plan.total_containers());
+    }
+
+    #[test]
+    fn resize_rung_runs_before_any_shedding() {
+        let app = two_service_app(300.0, 600.0);
+        let mut state = ClusterState::new(vec![Host::new(8.0, 16_384.0), Host::new(8.0, 16_384.0)]);
+        let mut mgr = ResilientManager::new(ResilienceConfig {
+            max_shed_attempts: 8,
+            shed_step: 0.5,
+            ..ResilienceConfig::default()
+        });
+        let outcome = mgr.run_round(&app, &mut state, &workloads(&app, 60_000.0));
+        let first_resize = outcome
+            .report
+            .actions
+            .iter()
+            .position(|a| matches!(a, FallbackAction::ResizeInPlace { .. }));
+        let first_shed = outcome
+            .report
+            .actions
+            .iter()
+            .position(|a| matches!(a, FallbackAction::ShedDemand { .. }));
+        assert!(
+            first_resize.is_some(),
+            "the capacity crunch must trigger the resize rung: {:?}",
+            outcome.report
+        );
+        if let Some(shed) = first_shed {
+            assert!(
+                first_resize.unwrap() < shed,
+                "resize must be attempted before shedding: {:?}",
+                outcome.report.actions
+            );
+        }
+        if outcome.applied() {
+            for host in state.hosts() {
+                let (cpu, mem) = host.utilization(&app);
+                assert!(cpu <= 1.0 + 1e-9 && mem <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn resize_alone_absorbs_a_mild_capacity_crunch() {
+        let app = two_service_app(300.0, 600.0);
+        // Find a rate whose full-size plan does not fit two 8-core hosts
+        // but whose 0.85×-squeezed plan does: first plan on a huge cluster
+        // to learn the demand curve, then pick the crunch point.
+        let mut crunch_rate = None;
+        for rate in (10_000..60_000).step_by(2_000) {
+            let mut probe_state = ClusterState::paper_cluster();
+            let mut probe = ResilientManager::new(ResilienceConfig::default());
+            let outcome = probe.run_round(&app, &mut probe_state, &workloads(&app, rate as f64));
+            let plan = outcome.plan.expect("paper cluster fits everything");
+            let cpu: f64 = plan.iter().map(|(_, c)| 0.5 * c as f64).sum();
+            if cpu > 16.0 && cpu * 0.85 <= 16.0 * 0.98 {
+                crunch_rate = Some(rate as f64);
+                break;
+            }
+        }
+        let rate = crunch_rate.expect("some rate lands in the resize-recoverable band");
+        let mut state = ClusterState::new(vec![Host::new(8.0, 16_384.0), Host::new(8.0, 16_384.0)]);
+        let mut mgr = ResilientManager::new(ResilienceConfig::default());
+        let outcome = mgr.run_round(&app, &mut state, &workloads(&app, rate));
+        assert!(
+            outcome.applied(),
+            "squeezed plan fits: {:?}",
+            outcome.report
+        );
+        assert!(outcome
+            .report
+            .actions
+            .iter()
+            .any(|a| matches!(a, FallbackAction::ResizeInPlace { .. })));
+        assert!(
+            !outcome
+                .report
+                .actions
+                .iter()
+                .any(|a| matches!(a, FallbackAction::ShedDemand { .. })),
+            "no demand shed when the squeeze suffices: {:?}",
+            outcome.report.actions
+        );
+    }
+
+    #[test]
+    fn spot_evacuation_saves_containers_from_reclamation() {
+        use crate::provisioning::HostLifecycle;
+        let app = two_service_app(300.0, 300.0);
+        let spot = Host::paper_host().with_lifecycle(HostLifecycle::Spot);
+        let mut state =
+            ClusterState::new(vec![Host::paper_host(), Host::paper_host(), spot.clone()]);
+        let mut mgr = ResilientManager::new(ResilienceConfig::default());
+        let w = workloads(&app, 20_000.0);
+        let first = mgr.run_round(&app, &mut state, &w);
+        assert!(first.applied());
+        let plan = first.plan.unwrap();
+
+        // Provider posts a notice due at round 4; the next manager round
+        // evacuates and re-places inside the grace window.
+        assert_eq!(state.post_spot_reclamations(1, 4), 1);
+        let second = mgr.run_round(&app, &mut state, &w);
+        assert!(second.applied());
+        assert!(second
+            .report
+            .actions
+            .iter()
+            .any(|a| matches!(a, FallbackAction::SpotEvacuation { hosts: 1, .. })));
+        let spot_index = state.reclaiming_hosts()[0];
+        assert_eq!(state.hosts()[spot_index].container_count(), 0);
+
+        // Reclamation executes: the host leaves empty, the plan still holds.
+        let (gone, lost) = state.execute_due_reclamations(4);
+        assert_eq!((gone, lost), (1, 0));
+        for (ms, target) in plan.iter() {
+            assert_eq!(state.containers_of(ms), target);
+        }
+    }
+
+    #[test]
+    fn reactive_ladder_loses_containers_to_reclamation() {
+        use crate::provisioning::HostLifecycle;
+        let app = two_service_app(300.0, 300.0);
+        let spot = Host::paper_host().with_lifecycle(HostLifecycle::Spot);
+        let mut state = ClusterState::new(vec![Host::paper_host(), Host::paper_host(), spot]);
+        let mut mgr = ResilientManager::new(ResilienceConfig {
+            spot_aware: false,
+            ..ResilienceConfig::default()
+        });
+        let w = workloads(&app, 20_000.0);
+        mgr.run_round(&app, &mut state, &w);
+        let on_spot = state.hosts()[2].container_count();
+        assert!(on_spot > 0, "the spot host should carry containers");
+        state.post_spot_reclamations(1, 4);
+        let second = mgr.run_round(&app, &mut state, &w);
+        assert!(second.applied());
+        assert!(
+            !second
+                .report
+                .actions
+                .iter()
+                .any(|a| matches!(a, FallbackAction::SpotEvacuation { .. })),
+            "reactive ladder must not evacuate"
+        );
+        // The notice was ignored, so the reclamation destroys live replicas.
+        let (gone, lost) = state.execute_due_reclamations(4);
+        assert_eq!(gone, 1);
+        assert!(lost > 0, "unevacuated containers are lost");
     }
 
     #[test]

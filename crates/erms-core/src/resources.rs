@@ -84,6 +84,76 @@ impl Default for ClusterCapacity {
     }
 }
 
+/// A typed host class in a heterogeneous cluster: per-class capacity plus an
+/// interference profile.
+///
+/// The paper's evaluation grid is uniform 32-core/64-GB hosts (§6.1), but the
+/// production clusters it targets mix machine generations and sizes. A class
+/// carries the knob the placement layer needs beyond raw capacity: an
+/// `interference_scale` multiplier on the utilisation-derived interference —
+/// large NUMA boxes isolate colocated work better (scale < 1), small or
+/// oversubscribed nodes amplify it (scale > 1). `scale = 1.0` reproduces the
+/// paper's uniform behaviour exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostClass {
+    /// Human-readable class name ("standard", "large", ...).
+    pub name: String,
+    /// CPU capacity in cores.
+    pub cpu: f64,
+    /// Memory capacity in megabytes.
+    pub memory_mb: f64,
+    /// Multiplier applied to utilisation-derived interference on hosts of
+    /// this class. 1.0 = the paper's uniform host.
+    pub interference_scale: f64,
+}
+
+impl HostClass {
+    /// Creates a host class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any numeric field is not finite and positive; host classes
+    /// are configuration constants, so this is a programming error.
+    pub fn new(name: &str, cpu: f64, memory_mb: f64, interference_scale: f64) -> Self {
+        assert!(
+            cpu.is_finite()
+                && cpu > 0.0
+                && memory_mb.is_finite()
+                && memory_mb > 0.0
+                && interference_scale.is_finite()
+                && interference_scale > 0.0,
+            "host class parameters must be finite and positive"
+        );
+        Self {
+            name: name.to_string(),
+            cpu,
+            memory_mb,
+            interference_scale,
+        }
+    }
+
+    /// The paper's host shape: 32 cores, 64 GB, neutral interference.
+    pub fn standard() -> Self {
+        Self::new("standard", 32.0, 64.0 * 1024.0, 1.0)
+    }
+
+    /// A large host: 64 cores, 128 GB, slightly better isolation.
+    pub fn large() -> Self {
+        Self::new("large", 64.0, 128.0 * 1024.0, 0.9)
+    }
+
+    /// A small host: 16 cores, 32 GB, noisier neighbours.
+    pub fn small() -> Self {
+        Self::new("small", 16.0, 32.0 * 1024.0, 1.2)
+    }
+}
+
+impl Default for HostClass {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +194,26 @@ mod tests {
         let cap = ClusterCapacity::new(0.0, 0.0);
         let r = Resources::default();
         assert_eq!(r.dominant_share(&cap), 0.0);
+    }
+
+    #[test]
+    fn standard_class_matches_paper_host() {
+        let c = HostClass::standard();
+        assert_eq!(c.cpu, 32.0);
+        assert_eq!(c.memory_mb, 64.0 * 1024.0);
+        assert_eq!(c.interference_scale, 1.0);
+    }
+
+    #[test]
+    fn class_sizes_are_ordered() {
+        assert!(HostClass::small().cpu < HostClass::standard().cpu);
+        assert!(HostClass::standard().cpu < HostClass::large().cpu);
+        assert!(HostClass::large().interference_scale < HostClass::small().interference_scale);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_class_panics() {
+        let _ = HostClass::new("bad", 32.0, 1024.0, 0.0);
     }
 }

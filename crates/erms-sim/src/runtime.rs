@@ -287,6 +287,20 @@ impl<'a> Simulation<'a> {
                 )));
             }
         }
+        for sr in &p.spot_reclamations {
+            self.app.microservice(sr.ms)?;
+            let ok = sr.at_ms.is_finite()
+                && sr.at_ms >= 0.0
+                && sr.grace_ms.is_finite()
+                && sr.grace_ms >= 0.0;
+            if !ok {
+                return Err(Error::InvalidParameter(format!(
+                    "spot-reclamation times must be finite and non-negative, got \
+                     notice {} ms with grace {} ms",
+                    sr.at_ms, sr.grace_ms
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -318,6 +332,10 @@ pub struct SimResult {
     pub crash_violations: u64,
     /// Containers lost to crashes and host failures over the run.
     pub crashed_containers: u64,
+    /// Containers taken back by spot reclamations
+    /// ([`FaultPlan::spot_reclamations`]) after their grace window — the
+    /// elastic-capacity counterpart of `crashed_containers`.
+    pub reclaimed_containers: u64,
     /// Spans dropped before reaching the trace store
     /// ([`FaultPlan::span_loss`]).
     pub lost_spans: u64,
@@ -427,11 +445,27 @@ enum Event {
     Fault(u32),
 }
 
-/// A crash-style fault lowered into engine form: host failures become a
-/// batch of per-microservice losses so both fault kinds share one path.
+/// What a scheduled fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineFaultKind {
+    /// Kill containers outright: drain queues, void in-service calls.
+    Crash,
+    /// Spot-reclamation notice: mark containers draining — they keep
+    /// serving queued work but accept nothing new.
+    Drain,
+    /// Spot-reclamation execution: kill containers still draining,
+    /// through the crash path.
+    Reclaim,
+}
+
+/// A fault lowered into engine form: host failures become a batch of
+/// per-microservice losses so crash-style kinds share one path, and each
+/// spot reclamation lowers to a `Drain`/`Reclaim` pair bracketing its
+/// grace window.
 #[derive(Debug, Clone)]
 struct EngineFault {
     at_ms: f64,
+    kind: EngineFaultKind,
     losses: Vec<(MicroserviceId, u32)>,
 }
 
@@ -526,6 +560,9 @@ struct Container {
     /// Crashed mid-run: receives no further calls. Kept in place so
     /// container indices held by in-flight calls stay stable.
     failed: bool,
+    /// Under a spot-reclamation notice: receives no *new* calls but keeps
+    /// serving its queues until the grace window closes.
+    draining: bool,
     /// Cold-start gate: processing cannot begin before this time.
     available_from: f64,
 }
@@ -586,6 +623,7 @@ struct Engine<'e, S: TelemetrySink> {
     timed_out: u64,
     crash_violations: u64,
     crashed_containers: u64,
+    reclaimed_containers: u64,
     lost_spans: u64,
     fault_schedule: Vec<EngineFault>,
     /// Telemetry observer; [`NullSink`] (the `run` path) compiles every
@@ -613,6 +651,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                             queues: (0..n_classes).map(|_| VecDeque::new()).collect(),
                             in_service: Vec::new(),
                             failed: false,
+                            draining: false,
                             available_from: 0.0,
                         })
                         .collect(),
@@ -641,6 +680,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             .filter(|c| c.at_ms <= sim.config.duration_ms)
             .map(|c| EngineFault {
                 at_ms: c.at_ms,
+                kind: EngineFaultKind::Crash,
                 losses: vec![(c.ms, c.count)],
             })
             .chain(
@@ -650,10 +690,34 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                     .filter(|h| h.at_ms <= sim.config.duration_ms)
                     .map(|h| EngineFault {
                         at_ms: h.at_ms,
+                        kind: EngineFaultKind::Crash,
                         losses: h.losses.iter().map(|(&m, &c)| (m, c)).collect(),
                     }),
             )
             .collect();
+        // Each spot reclamation lowers to a notice (`Drain`) at `at_ms`
+        // and, when the grace window closes inside the horizon, an
+        // execution (`Reclaim`) at `at_ms + grace_ms`. A notice whose
+        // execution falls past the horizon still drains: real providers
+        // post notices regardless of when the experiment ends.
+        for sr in &sim.faults.spot_reclamations {
+            if sr.at_ms > sim.config.duration_ms {
+                continue;
+            }
+            fault_schedule.push(EngineFault {
+                at_ms: sr.at_ms,
+                kind: EngineFaultKind::Drain,
+                losses: vec![(sr.ms, sr.count)],
+            });
+            let exec_at = sr.at_ms + sr.grace_ms;
+            if exec_at <= sim.config.duration_ms {
+                fault_schedule.push(EngineFault {
+                    at_ms: exec_at,
+                    kind: EngineFaultKind::Reclaim,
+                    losses: vec![(sr.ms, sr.count)],
+                });
+            }
+        }
         fault_schedule.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
         let service_count = sim.app.service_count();
         let ms_count = sim.app.microservice_count();
@@ -688,6 +752,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             timed_out: 0,
             crash_violations: 0,
             crashed_containers: 0,
+            reclaimed_containers: 0,
             lost_spans: 0,
             fault_schedule,
             sink,
@@ -805,14 +870,17 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             timed_out: self.timed_out,
             crash_violations: self.crash_violations,
             crashed_containers: self.crashed_containers,
+            reclaimed_containers: self.reclaimed_containers,
             lost_spans: self.lost_spans,
             events,
         }
     }
 
-    /// Fires one scheduled crash: mark containers failed, drain their
-    /// queues and void their in-service calls. Crashing more containers
-    /// than a deployment has degrades to losing them all.
+    /// Fires one scheduled fault. Crash-style kinds mark containers
+    /// failed, drain their queues and void their in-service calls;
+    /// `Drain` only flags containers, and `Reclaim` is a crash restricted
+    /// to draining containers. Killing more containers than a deployment
+    /// has degrades to losing them all.
     ///
     /// Victims are found through the per-container in-service lists, so a
     /// fault costs O(victims) — independent of the size of the call arena.
@@ -823,7 +891,33 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
     fn on_fault(&mut self, index: usize) {
         // Each schedule entry fires exactly once (one `Fault` event pushed
         // in `run`), so taking the losses out avoids cloning the vector.
+        let kind = self.fault_schedule[index].kind;
         let losses = std::mem::take(&mut self.fault_schedule[index].losses);
+        if kind == EngineFaultKind::Drain {
+            // A reclamation notice marks the *newest* containers draining
+            // — spot capacity is the capacity a scale-up added last. No
+            // calls are harmed and no randomness is consumed.
+            for (ms, count) in losses {
+                let Some(dep) = self.state.get_mut(ms.index()) else {
+                    continue;
+                };
+                let mut marked = 0u32;
+                for container in dep.containers.iter_mut().rev() {
+                    if marked == count {
+                        break;
+                    }
+                    if container.failed || container.draining {
+                        continue;
+                    }
+                    container.draining = true;
+                    marked += 1;
+                }
+            }
+            return;
+        }
+        // `Crash` kills any live container; `Reclaim` only takes back
+        // containers still under a notice (draining).
+        let reclaim = kind == EngineFaultKind::Reclaim;
         for (ms, count) in losses {
             let Some(dep) = self.state.get_mut(ms.index()) else {
                 continue;
@@ -835,7 +929,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                 if failed == count {
                     break;
                 }
-                if container.failed {
+                if container.failed || (reclaim && !container.draining) {
                     continue;
                 }
                 container.failed = true;
@@ -846,7 +940,11 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                 }
                 in_service_victims.append(&mut container.in_service);
             }
-            self.crashed_containers += u64::from(failed);
+            if reclaim {
+                self.reclaimed_containers += u64::from(failed);
+            } else {
+                self.crashed_containers += u64::from(failed);
+            }
             // Queued victims unwind immediately; in-service victims keep
             // their pending `Done` event, which `on_done` voids via the
             // `killed` flag.
@@ -931,7 +1029,8 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             if cand >= n {
                 cand = 0;
             }
-            if !dep.containers[cand].failed {
+            let c = &dep.containers[cand];
+            if !c.failed && !c.draining {
                 c_idx = Some(cand);
                 break;
             }
@@ -1483,6 +1582,85 @@ mod tests {
             .unwrap();
         assert_eq!(result.crashed_containers, 2);
         assert!(result.completed > 0, "survivors keep serving");
+    }
+
+    #[test]
+    fn spot_reclamation_drains_then_takes_the_container() {
+        let (app, [a, c], s) = chain_app();
+        let mut sim = Simulation::new(&app, quick_config());
+        // One of c's two containers gets a notice at 10 s and is taken
+        // back at 12 s; the survivor carries the rest of the run.
+        sim.set_fault_plan(FaultPlan::new().spot_reclamation(c, 10_000.0, 1, 2_000.0));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let result = sim
+            .run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new())
+            .unwrap();
+        assert_eq!(result.reclaimed_containers, 1);
+        assert_eq!(result.crashed_containers, 0, "a reclaim is not a crash");
+        assert!(result.completed > 0, "the on-demand survivor keeps serving");
+    }
+
+    #[test]
+    fn reclamation_grace_window_lets_queued_work_finish() {
+        // Under light load a draining container empties its queue well
+        // inside a generous grace window, so the execution finds nothing
+        // in flight and no calls are disrupted.
+        let (app, [a, c], s) = chain_app();
+        let mut sim = Simulation::new(&app, quick_config());
+        sim.set_fault_plan(FaultPlan::new().spot_reclamation(c, 10_000.0, 1, 5_000.0));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let result = sim
+            .run(&w, &containers(&[(a, 2), (c, 2)]), &BTreeMap::new())
+            .unwrap();
+        assert_eq!(result.reclaimed_containers, 1);
+        assert_eq!(
+            result.crash_violations, 0,
+            "an idle draining container dies empty"
+        );
+    }
+
+    #[test]
+    fn zero_grace_reclamation_disrupts_like_a_crash() {
+        let (app, [a, c], s) = chain_app();
+        let mut config = quick_config();
+        config.default_threads = 1;
+        let mut sim = Simulation::new(&app, config);
+        sim.set_service_time(a, ServiceTimeModel::new(2.0, 0.3, 0.0, 0.0));
+        sim.set_service_time(c, ServiceTimeModel::new(2.0, 0.3, 0.0, 0.0));
+        // No advance notice: the execution lands the same instant as the
+        // drain, so loaded containers die with work on board.
+        sim.set_fault_plan(FaultPlan::new().spot_reclamation(c, 15_000.0, 3, 0.0));
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(48_000.0));
+        let result = sim
+            .run(&w, &containers(&[(a, 4), (c, 4)]), &BTreeMap::new())
+            .unwrap();
+        assert_eq!(result.reclaimed_containers, 3);
+        assert!(
+            result.crash_violations > 0,
+            "zero-grace reclamation must disrupt in-flight work"
+        );
+    }
+
+    #[test]
+    fn reclamations_beyond_horizon_leave_runs_bit_identical() {
+        let (app, [a, c], s) = chain_app();
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(600.0));
+        let cs = containers(&[(a, 2), (c, 2)]);
+        let clean = Simulation::new(&app, quick_config())
+            .run(&w, &cs, &BTreeMap::new())
+            .unwrap();
+        let mut sim = Simulation::new(&app, quick_config());
+        sim.set_fault_plan(FaultPlan::new().spot_reclamation(c, 1e9, 1, 100.0));
+        let unfired = sim.run(&w, &cs, &BTreeMap::new()).unwrap();
+        assert_eq!(clean.events, unfired.events);
+        assert_eq!(clean.generated, unfired.generated);
+        assert_eq!(clean.completed, unfired.completed);
+        assert_eq!(clean.service_latencies, unfired.service_latencies);
+        assert_eq!(unfired.reclaimed_containers, 0);
     }
 
     #[test]

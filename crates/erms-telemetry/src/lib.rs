@@ -72,6 +72,6 @@ pub mod online;
 pub mod sketch;
 
 pub use collector::{SpanRing, TelemetryCollector, TelemetryConfig};
-pub use metrics::MetricsRegistry;
+pub use metrics::{record_planner_metrics, record_resilience, MetricsRegistry};
 pub use online::{window_samples, OnlineProfiler, RefitOutcome, WindowConfig};
 pub use sketch::{QuantileSketch, DEFAULT_MAX_BINS, DEFAULT_RELATIVE_ERROR};

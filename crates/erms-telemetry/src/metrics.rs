@@ -159,6 +159,71 @@ pub fn record_planner_metrics(
     }
 }
 
+/// Mirrors the fallback-ladder history of a resilient controller into
+/// `registry` under the `resilience.*` namespace: one counter per rung, so
+/// operators can see *which* degradations carried a run (spot evacuations
+/// vs. vertical squeezes vs. outright shedding) next to the planner and
+/// latency telemetry.
+///
+/// Like [`record_planner_metrics`] this snapshots via
+/// [`MetricsRegistry::set_counter`]: pass the full report history each
+/// time and the registry always reflects its latest totals.
+pub fn record_resilience(
+    registry: &mut MetricsRegistry,
+    reports: &[erms_core::resilience::ResilienceReport],
+) {
+    use erms_core::resilience::FallbackAction;
+
+    let mut degraded = 0u64;
+    let mut skipped = 0u64;
+    let mut errors = 0u64;
+    let mut stale = 0u64;
+    let mut hysteresis = 0u64;
+    let mut cooldown = 0u64;
+    let mut relaxed = 0u64;
+    let mut evacuations = 0u64;
+    let mut evacuated_containers = 0u64;
+    let mut resizes = 0u64;
+    let mut sheds = 0u64;
+    let mut last_resize = 1.0f64;
+    for report in reports {
+        degraded += u64::from(report.degraded());
+        skipped += u64::from(report.skipped());
+        errors += report.errors.len() as u64;
+        for action in &report.actions {
+            match action {
+                FallbackAction::StalePlanApplied { .. } => stale += 1,
+                FallbackAction::HysteresisHold { .. } => hysteresis += 1,
+                FallbackAction::CooldownHold { .. } => cooldown += 1,
+                FallbackAction::RelaxedPlacement { .. } => relaxed += 1,
+                FallbackAction::SpotEvacuation { containers, .. } => {
+                    evacuations += 1;
+                    evacuated_containers += u64::from(*containers);
+                }
+                FallbackAction::ResizeInPlace { factor } => {
+                    resizes += 1;
+                    last_resize = *factor;
+                }
+                FallbackAction::ShedDemand { .. } => sheds += 1,
+                FallbackAction::RoundSkipped { .. } => {}
+            }
+        }
+    }
+    registry.set_counter("resilience.rounds", reports.len() as u64);
+    registry.set_counter("resilience.degraded_rounds", degraded);
+    registry.set_counter("resilience.skipped_rounds", skipped);
+    registry.set_counter("resilience.absorbed_errors", errors);
+    registry.set_counter("resilience.stale_plans", stale);
+    registry.set_counter("resilience.hysteresis_holds", hysteresis);
+    registry.set_counter("resilience.cooldown_holds", cooldown);
+    registry.set_counter("resilience.relaxed_placements", relaxed);
+    registry.set_counter("resilience.spot_evacuations", evacuations);
+    registry.set_counter("resilience.evacuated_containers", evacuated_containers);
+    registry.set_counter("resilience.resizes", resizes);
+    registry.set_counter("resilience.shed_demands", sheds);
+    registry.set_gauge("resilience.last_resize_factor", last_resize);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +266,44 @@ mod tests {
         m.rounds = 5;
         record_planner_metrics(&mut r, &m, Some(&cache));
         assert_eq!(r.counter("planner.rounds"), 5);
+    }
+
+    #[test]
+    fn resilience_reports_mirror_into_registry() {
+        use erms_core::resilience::{FallbackAction, ResilienceReport};
+
+        let clean = ResilienceReport {
+            round: 1,
+            ..Default::default()
+        };
+        let degraded = ResilienceReport {
+            round: 2,
+            actions: vec![
+                FallbackAction::SpotEvacuation {
+                    hosts: 2,
+                    containers: 5,
+                },
+                FallbackAction::ResizeInPlace { factor: 0.85 },
+                FallbackAction::RoundSkipped {
+                    reason: "test".into(),
+                },
+            ],
+            ..Default::default()
+        };
+        let mut r = MetricsRegistry::new();
+        record_resilience(&mut r, &[clean.clone(), degraded.clone()]);
+        assert_eq!(r.counter("resilience.rounds"), 2);
+        assert_eq!(r.counter("resilience.degraded_rounds"), 1);
+        assert_eq!(r.counter("resilience.skipped_rounds"), 1);
+        assert_eq!(r.counter("resilience.spot_evacuations"), 1);
+        assert_eq!(r.counter("resilience.evacuated_containers"), 5);
+        assert_eq!(r.counter("resilience.resizes"), 1);
+        assert_eq!(r.counter("resilience.shed_demands"), 0);
+        assert_eq!(r.gauge("resilience.last_resize_factor"), Some(0.85));
+
+        // Snapshot semantics: re-mirroring the same history overwrites.
+        record_resilience(&mut r, &[clean, degraded]);
+        assert_eq!(r.counter("resilience.rounds"), 2);
     }
 
     #[test]

@@ -22,7 +22,8 @@ use erms_core::app::Sla;
 use erms_core::graph::GraphBuilder;
 use erms_core::ids::{MicroserviceId, NodeId};
 use erms_core::prelude::AppBuilder;
-use erms_core::resources::Resources;
+use erms_core::provisioning::{ClusterState, FailureDomain, Host, HostLifecycle};
+use erms_core::resources::{HostClass, Resources};
 use rand::Rng;
 use rand::SeedableRng;
 
@@ -174,6 +175,54 @@ pub fn generate(config: &SynthConfig) -> GeneratedApp {
     }
 }
 
+/// Generates a deterministic heterogeneous cluster: a seeded mix of the
+/// three standard [`HostClass`]es, a `spot_fraction` of which are spot
+/// instances, spread round-robin over `zones` failure zones of two racks
+/// each.
+///
+/// Chaos experiments need clusters whose host mix, lifecycle mix and
+/// domain layout are reproducible from a seed alone — the same contract
+/// as [`generate`] for applications. Class draws are weighted towards the
+/// paper's standard 32-core/64-GB shape (§6.1) so a `spot_fraction` of
+/// zero with one zone degrades to something close to the uniform
+/// evaluation cluster.
+pub fn heterogeneous_cluster(
+    hosts: usize,
+    spot_fraction: f64,
+    zones: u32,
+    seed: u64,
+) -> ClusterState {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC1A5);
+    let zones = zones.max(1);
+    let spot_fraction = spot_fraction.clamp(0.0, 1.0);
+    let classes = [
+        HostClass::standard(),
+        HostClass::large(),
+        HostClass::small(),
+    ];
+    let mut built = Vec::with_capacity(hosts.max(1));
+    for i in 0..hosts.max(1) {
+        // 50% standard, 25% large, 25% small.
+        let class = match rng.gen_range(0..4u32) {
+            0 | 1 => &classes[0],
+            2 => &classes[1],
+            _ => &classes[2],
+        };
+        let lifecycle = if rng.gen_bool(spot_fraction) {
+            HostLifecycle::Spot
+        } else {
+            HostLifecycle::OnDemand
+        };
+        let domain = FailureDomain::new(i as u32 % zones, (i as u32 / zones) % 2);
+        built.push(
+            Host::from_class(class)
+                .with_lifecycle(lifecycle)
+                .with_domain(domain),
+        );
+    }
+    ClusterState::new(built)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +256,26 @@ mod tests {
         assert_eq!(a.app, b.app);
         let c = generate(&SynthConfig::scaled(120, 10));
         assert_ne!(a.app, c.app, "different seeds must differ");
+    }
+
+    #[test]
+    fn heterogeneous_cluster_is_deterministic_and_mixed() {
+        let a = heterogeneous_cluster(24, 0.4, 3, 11);
+        let b = heterogeneous_cluster(24, 0.4, 3, 11);
+        assert_eq!(a, b, "same seed must reproduce the cluster exactly");
+        assert_eq!(a.hosts().len(), 24);
+        let spot = a.spot_host_count();
+        assert!(spot > 0 && spot < 24, "fraction 0.4 must mix lifecycles");
+        let mut zones: std::collections::BTreeSet<u32> = Default::default();
+        let mut shapes: std::collections::BTreeSet<u64> = Default::default();
+        for h in a.hosts() {
+            zones.insert(h.domain.zone);
+            shapes.insert(h.cpu_capacity.to_bits());
+        }
+        assert_eq!(zones.len(), 3, "hosts must cover every zone");
+        assert!(shapes.len() > 1, "host classes must actually differ");
+        let none = heterogeneous_cluster(24, 0.0, 1, 11);
+        assert_eq!(none.spot_host_count(), 0);
     }
 
     #[test]

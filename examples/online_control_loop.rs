@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use erms::core::prelude::*;
 use erms::sim::runtime::{SimConfig, Simulation};
 use erms::sim::service_time::{derive_from_profile, ServiceTimeModel};
-use erms::telemetry::metrics::record_planner_metrics;
+use erms::telemetry::metrics::{record_planner_metrics, record_resilience};
 use erms::telemetry::{
     MetricsRegistry, OnlineProfiler, TelemetryCollector, TelemetryConfig, WindowConfig,
 };
@@ -193,6 +193,7 @@ fn main() {
         if p95 <= SLA_MS {
             println!("\nSLA restored by the online loop in {round} re-plan round(s).");
             print_planner_report(&planner, &cache);
+            resilience_demo(&app, &w);
             return;
         }
         profiler.ingest(&collector, &containers, itf);
@@ -200,6 +201,54 @@ fn main() {
     }
     println!("\nloop budget exhausted without restoring the SLA");
     print_planner_report(&planner, &cache);
+    resilience_demo(&app, &w);
+}
+
+/// Runs the spot-aware fallback ladder through a reclamation notice on a
+/// mixed on-demand/spot cluster and mirrors the rung transitions into the
+/// metrics registry — the observability half of the recovery ladder.
+fn resilience_demo(app: &App, w: &WorkloadVector) {
+    println!("\n=== Spot-aware recovery ladder under a reclamation notice ===\n");
+    let mut state = ClusterState::new(vec![
+        Host::paper_host(),
+        Host::paper_host(),
+        Host::paper_host().with_lifecycle(HostLifecycle::Spot),
+    ]);
+    let mut manager = ResilientManager::new(ResilienceConfig::default());
+    for round in 1..=4u64 {
+        // The provider posts a notice on the spot host ahead of round 2,
+        // due two rounds later; the spot-aware ladder evacuates it and
+        // re-places the containers on the on-demand survivors.
+        if round == 2 {
+            state.post_spot_reclamations(1, round + 2);
+        }
+        if round == 4 {
+            state.execute_due_reclamations(round);
+        }
+        let outcome = manager.run_round(app, &mut state, w);
+        let rungs: Vec<String> = outcome
+            .report
+            .actions
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect();
+        println!(
+            "round {round}: hosts={} spot={} reclaiming={} rungs=[{}]",
+            state.hosts().len(),
+            state.spot_host_count(),
+            state.reclaiming_hosts().len(),
+            rungs.join(", ")
+        );
+    }
+    let mut registry = MetricsRegistry::new();
+    record_resilience(&mut registry, manager.history());
+    println!("\nresilience telemetry:");
+    for (name, value) in registry.counters() {
+        println!("  {name:<32} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        println!("  {name:<32} {value:.3}");
+    }
 }
 
 /// Mirrors the planner work counters into a telemetry registry and prints

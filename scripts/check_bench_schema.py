@@ -52,6 +52,26 @@ REQUIRED = {
         "sketch.inserts_per_sec",
         "sketch.merges_per_sec",
     ],
+    "BENCH_chaos.json": [
+        "quick",
+        "seeds",
+        "rounds",
+        "hosts",
+        "zones",
+        "intensity",
+        "bit_identical",
+        "schemes.[].cluster",
+        "schemes.[].ladder",
+        "schemes.[].sla_violation_minutes",
+        "schemes.[].sla_violation_minutes_mean",
+        "schemes.[].mttr_rounds",
+        "schemes.[].episodes",
+        "schemes.[].containers_lost",
+        "schemes.[].spot_evacuations",
+        "schemes.[].resizes",
+        "schemes.[].shed_demands",
+        "schemes.[].skipped_rounds",
+    ],
     "BENCH_planner.json": [
         "quick",
         "mode",

@@ -1,0 +1,186 @@
+//! Chaos invariants: property tests over randomized fault schedules.
+//!
+//! Three unconditional contracts, exercised under arbitrary valid chaos
+//! input rather than friendly hand-picked scenarios:
+//!
+//! 1. the discrete-event simulator never panics under any valid
+//!    [`FaultPlan`] and its request accounting stays conserved;
+//! 2. cluster-level chaos schedules ([`ClusterFaultPlan::chaos`]) always
+//!    validate, and replaying them conserves container and core
+//!    accounting — no host over capacity, no phantom containers;
+//! 3. the resilient controller either lands on a feasible rung (the
+//!    cluster exactly matches the applied plan) or reports the skip
+//!    honestly in its audit trail.
+
+use std::collections::BTreeMap;
+
+use erms::core::prelude::*;
+use erms::core::resilience::FallbackAction;
+use erms::sim::faults::ClusterFaultPlan;
+use erms::sim::runtime::{SimConfig, Simulation};
+use erms::sim::FaultPlan;
+use erms::trace::synth::heterogeneous_cluster;
+use proptest::prelude::*;
+
+fn chain_app() -> (App, [MicroserviceId; 2], ServiceId) {
+    let mut b = AppBuilder::new("chaos");
+    let a = b.microservice(
+        "a",
+        LatencyProfile::linear(0.01, 2.0),
+        Resources::new(0.5, 512.0),
+    );
+    let c = b.microservice(
+        "c",
+        LatencyProfile::linear(0.01, 2.0),
+        Resources::new(0.5, 512.0),
+    );
+    let s = b.service("s", Sla::p95_ms(200.0), |g| {
+        let root = g.entry(a);
+        g.call_seq(root, c);
+    });
+    (b.build().unwrap(), [a, c], s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any structurally valid single-run fault plan — crashes, host
+    /// failures, cold starts and spot reclamations at arbitrary times
+    /// inside the horizon — runs to completion without panicking, and the
+    /// result's request accounting is conserved.
+    #[test]
+    fn simulator_survives_arbitrary_valid_fault_plans(
+        seed in any::<u16>(),
+        crash_at in 0.0f64..8_000.0,
+        crash_count in 1u32..6,
+        reclaim_at in 0.0f64..8_000.0,
+        grace_ms in 1.0f64..4_000.0,
+        reclaim_count in 1u32..6,
+        cold_delay in 1.0f64..2_000.0,
+        drop_p in 0.0f64..0.3,
+        rate in 600.0f64..20_000.0,
+    ) {
+        let (app, [a, c], s) = chain_app();
+        let duration_ms = 10_000.0;
+        let mut losses = BTreeMap::new();
+        losses.insert(a, 1u32);
+        let plan = FaultPlan::new()
+            .crash(c, crash_at, crash_count)
+            .host_failure(crash_at * 0.5 + 1.0, losses)
+            .cold_start(c, 1, cold_delay)
+            .spot_reclamation(c, reclaim_at, reclaim_count, grace_ms)
+            .with_drop_probability(drop_p);
+        prop_assert!(
+            plan.validate(&app, duration_ms).is_ok(),
+            "constructed plan must be structurally valid"
+        );
+        let mut sim = Simulation::new(&app, SimConfig {
+            duration_ms,
+            warmup_ms: 500.0,
+            seed: seed as u64,
+            ..SimConfig::default()
+        });
+        sim.set_fault_plan(plan);
+        let mut w = WorkloadVector::new();
+        w.set(s, RequestRate::per_minute(rate));
+        let containers: BTreeMap<_, _> = [(a, 4u32), (c, 4u32)].into_iter().collect();
+        let result = sim.run(&w, &containers, &BTreeMap::new()).unwrap();
+        prop_assert!(result.completed + result.timed_out <= result.generated);
+        prop_assert!(result.dropped <= result.generated);
+        prop_assert!(
+            result.crashed_containers + result.reclaimed_containers <= 8,
+            "cannot lose more containers than were deployed"
+        );
+    }
+
+    /// Chaos schedules are valid by construction, and replaying one
+    /// against the spot-aware controller conserves container and core
+    /// accounting every round: no host above capacity, and the
+    /// cluster-wide count of every microservice equals the sum over
+    /// hosts (no phantom or leaked containers).
+    #[test]
+    fn chaos_replay_conserves_container_and_core_accounting(
+        seed in any::<u16>(),
+        intensity in 0.0f64..=1.0,
+        rate in 4_000.0f64..30_000.0,
+        spot_fraction in 0.0f64..=1.0,
+    ) {
+        let (app, _, _) = chain_app();
+        let rounds = 12u64;
+        let faults = ClusterFaultPlan::chaos(seed as u64, &app, rounds, 3, intensity);
+        prop_assert!(
+            faults.validate(&app, rounds).is_ok(),
+            "chaos schedules must be valid by construction"
+        );
+        let mut state = heterogeneous_cluster(8, spot_fraction, 3, seed as u64);
+        let mut mgr = ResilientManager::new(ResilienceConfig::default());
+        let w = WorkloadVector::uniform(&app, RequestRate::per_minute(rate));
+        for round in 1..=rounds {
+            faults.apply(round, &mut state, &app);
+            mgr.run_round(&app, &mut state, &w);
+            for (i, host) in state.hosts().iter().enumerate() {
+                let (cpu, mem) = host.utilization(&app);
+                prop_assert!(
+                    cpu <= 1.0 + 1e-9 && mem <= 1.0 + 1e-9,
+                    "seed {seed} round {round}: host {i} over capacity"
+                );
+            }
+            for (ms, _) in app.microservices() {
+                let per_host: u32 = state.hosts().iter().map(|h| h.containers_of(ms)).sum();
+                prop_assert!(
+                    per_host == state.containers_of(ms),
+                    "seed {seed} round {round}: container accounting diverged for {ms}"
+                );
+            }
+        }
+    }
+
+    /// Every controller round either applies a plan the cluster then
+    /// exactly satisfies, or skips and says so: a `RoundSkipped` action in
+    /// the audit trail with a non-empty reason. No silent third state.
+    #[test]
+    fn manager_lands_on_feasible_rung_or_reports_honestly(
+        seed in any::<u16>(),
+        intensity in 0.3f64..=1.0,
+        rate in 4_000.0f64..40_000.0,
+        spot_aware in any::<bool>(),
+    ) {
+        let (app, _, _) = chain_app();
+        let rounds = 12u64;
+        let faults = ClusterFaultPlan::chaos(seed as u64, &app, rounds, 3, intensity);
+        let mut state = heterogeneous_cluster(6, 0.5, 3, seed as u64);
+        let mut mgr = ResilientManager::new(ResilienceConfig {
+            spot_aware,
+            ..ResilienceConfig::default()
+        });
+        let w = WorkloadVector::uniform(&app, RequestRate::per_minute(rate));
+        for round in 1..=rounds {
+            faults.apply(round, &mut state, &app);
+            let outcome = mgr.run_round(&app, &mut state, &w);
+            match &outcome.plan {
+                Some(plan) => {
+                    prop_assert!(
+                        outcome.provision.is_some(),
+                        "seed {seed} round {round}: applied plan without a placement report"
+                    );
+                    for (ms, target) in plan.iter() {
+                        prop_assert!(
+                            state.containers_of(ms) == target,
+                            "seed {seed} round {round}: cluster diverges from applied plan at {ms}"
+                        );
+                    }
+                }
+                None => {
+                    let honest = outcome.report.actions.iter().any(|action| matches!(
+                        action,
+                        FallbackAction::RoundSkipped { reason } if !reason.is_empty()
+                    ));
+                    prop_assert!(
+                        honest && outcome.report.skipped(),
+                        "seed {seed} round {round}: skipped round without an honest audit entry"
+                    );
+                }
+            }
+        }
+    }
+}
