@@ -376,9 +376,10 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"seeds\": {seeds},\n  \"rounds\": {rounds},\n  \
+        "{{\n  \"env\": {env},\n  \"quick\": {quick},\n  \"seeds\": {seeds},\n  \"rounds\": {rounds},\n  \
          \"hosts\": {HOSTS},\n  \"zones\": {ZONES},\n  \"intensity\": {i},\n  \
          \"bit_identical\": true,\n  \"schemes\": [\n{s}\n  ]\n}}\n",
+        env = erms_bench::env_json(),
         i = json_f(INTENSITY),
         s = schemes_json.join(",\n")
     );

@@ -214,7 +214,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"engine\": {{\n    \"duration_ms\": {engine_ms},\n    \"events\": {events},\n    \"dense_wall_ms\": {dw},\n    \"reference_wall_ms\": {rw},\n    \"dense_events_per_sec\": {de},\n    \"reference_events_per_sec\": {re},\n    \"speedup\": {es},\n    \"bit_identical\": true\n  }},\n  \"replication\": {{\n    \"replications\": {rep_count},\n    \"sim_duration_ms\": {rep_sim_ms},\n    \"serial_wall_ms\": {sw},\n    \"parallel_wall_ms\": {pw},\n    \"speedup\": {rs},\n    \"bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"env\": {env},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"engine\": {{\n    \"duration_ms\": {engine_ms},\n    \"events\": {events},\n    \"dense_wall_ms\": {dw},\n    \"reference_wall_ms\": {rw},\n    \"dense_events_per_sec\": {de},\n    \"reference_events_per_sec\": {re},\n    \"speedup\": {es},\n    \"bit_identical\": true\n  }},\n  \"replication\": {{\n    \"replications\": {rep_count},\n    \"sim_duration_ms\": {rep_sim_ms},\n    \"serial_wall_ms\": {sw},\n    \"parallel_wall_ms\": {pw},\n    \"speedup\": {rs},\n    \"bit_identical\": true\n  }}\n}}\n",
+        env = erms_bench::env_json(),
         dw = json_f(dense_ms),
         rw = json_f(reference_ms),
         de = json_f(dense_eps),

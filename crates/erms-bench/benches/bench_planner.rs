@@ -313,8 +313,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"mode\": \"priority\",\n  \"reps\": {reps},\n  \"scales\": [\n{}\n  ]\n}}\n",
-        scales_json.join(",\n")
+        "{{\n  \"env\": {env},\n  \"quick\": {quick},\n  \"mode\": \"priority\",\n  \"reps\": {reps},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        scales_json.join(",\n"),
+        env = erms_bench::env_json()
     );
     std::fs::write(&out_path, &json).expect("write BENCH_planner.json");
     println!("wrote {out_path}");

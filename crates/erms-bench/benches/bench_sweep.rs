@@ -213,7 +213,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"grid\": {{\n    \"slas_ms\": {slas:?},\n    \"workloads_per_min\": {workloads:?},\n    \"apps\": 3,\n    \"schemes\": {schemes},\n    \"cells\": {cells},\n    \"records\": {records}\n  }},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"sweep\": {{\n    \"serial_ms\": {serial_ms},\n    \"parallel_ms\": {parallel_ms},\n    \"speedup\": {speedup},\n    \"serial_cells_per_sec\": {scps},\n    \"parallel_cells_per_sec\": {pcps},\n    \"bit_identical\": true\n  }},\n  \"plan_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \"hit_rate\": {hit_rate}\n  }},\n  \"simulator\": {{\n    \"duration_ms\": {sim_ms},\n    \"events\": {sim_events},\n    \"wall_ms\": {wall},\n    \"events_per_sec\": {eps}\n  }}\n}}\n",
+        "{{\n  \"env\": {env},\n  \"grid\": {{\n    \"slas_ms\": {slas:?},\n    \"workloads_per_min\": {workloads:?},\n    \"apps\": 3,\n    \"schemes\": {schemes},\n    \"cells\": {cells},\n    \"records\": {records}\n  }},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"sweep\": {{\n    \"serial_ms\": {serial_ms},\n    \"parallel_ms\": {parallel_ms},\n    \"speedup\": {speedup},\n    \"serial_cells_per_sec\": {scps},\n    \"parallel_cells_per_sec\": {pcps},\n    \"bit_identical\": true\n  }},\n  \"plan_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \"hit_rate\": {hit_rate}\n  }},\n  \"simulator\": {{\n    \"duration_ms\": {sim_ms},\n    \"events\": {sim_events},\n    \"wall_ms\": {wall},\n    \"events_per_sec\": {eps}\n  }}\n}}\n",
+        env = erms_bench::env_json(),
         schemes = set.len(),
         records = serial_records.len(),
         serial_ms = json_f(serial_ms),

@@ -271,7 +271,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"sink\": {{\n    \"duration_ms\": {sim_ms},\n    \"sampling\": {SAMPLING},\n    \"events\": {events},\n    \"off_wall_ms\": {ow},\n    \"on_wall_ms\": {nw},\n    \"off_events_per_sec\": {oe},\n    \"on_events_per_sec\": {ne},\n    \"overhead_pct\": {ov},\n    \"bit_identical\": true\n  }},\n  \"sketch\": {{\n    \"insert_values\": {sketch_values},\n    \"insert_wall_ms\": {iw},\n    \"inserts_per_sec\": {ip},\n    \"merge_shards\": {merge_shards},\n    \"merge_shard_values\": {shard_len},\n    \"merge_wall_ms\": {mw},\n    \"merges_per_sec\": {mp}\n  }}\n}}\n",
+        "{{\n  \"env\": {env},\n  \"quick\": {quick},\n  \"sink\": {{\n    \"duration_ms\": {sim_ms},\n    \"sampling\": {SAMPLING},\n    \"events\": {events},\n    \"off_wall_ms\": {ow},\n    \"on_wall_ms\": {nw},\n    \"off_events_per_sec\": {oe},\n    \"on_events_per_sec\": {ne},\n    \"overhead_pct\": {ov},\n    \"bit_identical\": true\n  }},\n  \"sketch\": {{\n    \"insert_values\": {sketch_values},\n    \"insert_wall_ms\": {iw},\n    \"inserts_per_sec\": {ip},\n    \"merge_shards\": {merge_shards},\n    \"merge_shard_values\": {shard_len},\n    \"merge_wall_ms\": {mw},\n    \"merges_per_sec\": {mp}\n  }}\n}}\n",
+        env = erms_bench::env_json(),
         ow = json_f(off_ms),
         nw = json_f(on_ms),
         oe = json_f(off_eps),

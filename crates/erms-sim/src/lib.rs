@@ -63,6 +63,7 @@ pub mod reference;
 pub mod replicate;
 pub mod runtime;
 pub mod service_time;
+pub mod shard;
 pub mod stats;
 mod tables;
 pub mod telemetry;
@@ -71,4 +72,5 @@ pub use faults::{ClusterFault, ClusterFaultPlan, FaultError, FaultPlan, SpotRecl
 pub use replicate::{replicate, replicate_serial, replication_seed};
 pub use runtime::{PercentileView, Scheduling, SimConfig, SimResult, Simulation};
 pub use service_time::ServiceTimeModel;
+pub use shard::{cross_shard_edge_fraction, shard_of};
 pub use telemetry::{NullSink, RequestRecord, SpanRecord, TelemetrySink};

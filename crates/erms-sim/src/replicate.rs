@@ -42,11 +42,21 @@ pub fn replication_seed(base_seed: u64, index: usize) -> u64 {
 /// seeds do not depend on scheduling, and the reduction preserves
 /// replication order. `run` must be `Sync` (shared across worker threads)
 /// and its result `Send`.
+///
+/// Small batches fall back to the serial loop: when `n` is below the
+/// worker-pool width there are not enough replications to keep the pool
+/// busy, and fan-out costs (dispatch, ordered collection) are pure
+/// overhead — most visibly `n = 1`, which is just a plain run. The
+/// fallback changes nothing observable (the outputs are bit-identical by
+/// contract); it only skips the dispatch.
 pub fn replicate<T, F>(base_seed: u64, n: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64, usize) -> T + Sync,
 {
+    if n < rayon::current_num_threads() {
+        return replicate_serial(base_seed, n, run);
+    }
     let indices: Vec<usize> = (0..n).collect();
     indices
         .into_par_iter()
@@ -92,5 +102,15 @@ mod tests {
     #[test]
     fn zero_replications_is_empty() {
         assert!(replicate(1, 0, |s, _| s).is_empty());
+    }
+
+    #[test]
+    fn small_batches_take_the_serial_fallback_and_match() {
+        // n below any plausible pool width: goes through the fallback, and
+        // the result must still be exactly the serial loop's output.
+        let f = |seed: u64, i: usize| (seed.rotate_left(17), i);
+        for n in [1usize, 2] {
+            assert_eq!(replicate(77, n, f), replicate_serial(77, n, f));
+        }
     }
 }

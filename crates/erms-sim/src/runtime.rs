@@ -445,9 +445,11 @@ enum Event {
     Fault(u32),
 }
 
-/// What a scheduled fault does when it fires.
+/// What a scheduled fault does when it fires. Shared with the sharded
+/// engine ([`crate::shard`]), which lowers the same `FaultPlan` through
+/// [`lower_fault_schedule`] so both engines fire identical schedules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EngineFaultKind {
+pub(crate) enum EngineFaultKind {
     /// Kill containers outright: drain queues, void in-service calls.
     Crash,
     /// Spot-reclamation notice: mark containers draining — they keep
@@ -463,10 +465,65 @@ enum EngineFaultKind {
 /// spot reclamation lowers to a `Drain`/`Reclaim` pair bracketing its
 /// grace window.
 #[derive(Debug, Clone)]
-struct EngineFault {
-    at_ms: f64,
-    kind: EngineFaultKind,
-    losses: Vec<(MicroserviceId, u32)>,
+pub(crate) struct EngineFault {
+    pub(crate) at_ms: f64,
+    pub(crate) kind: EngineFaultKind,
+    pub(crate) losses: Vec<(MicroserviceId, u32)>,
+}
+
+/// Lowers a [`FaultPlan`](crate::FaultPlan) into the engine-event schedule,
+/// sorted by fire time. Used by both the sequential engine and the sharded
+/// engine so a given plan produces the same schedule in both.
+pub(crate) fn lower_fault_schedule(sim: &Simulation<'_>) -> Vec<EngineFault> {
+    // Crash-style faults become ordinary events in the heap, so they
+    // interleave with arrivals and completions deterministically.
+    let mut fault_schedule: Vec<EngineFault> = sim
+        .faults
+        .container_crashes
+        .iter()
+        .filter(|c| c.at_ms <= sim.config.duration_ms)
+        .map(|c| EngineFault {
+            at_ms: c.at_ms,
+            kind: EngineFaultKind::Crash,
+            losses: vec![(c.ms, c.count)],
+        })
+        .chain(
+            sim.faults
+                .host_failures
+                .iter()
+                .filter(|h| h.at_ms <= sim.config.duration_ms)
+                .map(|h| EngineFault {
+                    at_ms: h.at_ms,
+                    kind: EngineFaultKind::Crash,
+                    losses: h.losses.iter().map(|(&m, &c)| (m, c)).collect(),
+                }),
+        )
+        .collect();
+    // Each spot reclamation lowers to a notice (`Drain`) at `at_ms` and,
+    // when the grace window closes inside the horizon, an execution
+    // (`Reclaim`) at `at_ms + grace_ms`. A notice whose execution falls
+    // past the horizon still drains: real providers post notices
+    // regardless of when the experiment ends.
+    for sr in &sim.faults.spot_reclamations {
+        if sr.at_ms > sim.config.duration_ms {
+            continue;
+        }
+        fault_schedule.push(EngineFault {
+            at_ms: sr.at_ms,
+            kind: EngineFaultKind::Drain,
+            losses: vec![(sr.ms, sr.count)],
+        });
+        let exec_at = sr.at_ms + sr.grace_ms;
+        if exec_at <= sim.config.duration_ms {
+            fault_schedule.push(EngineFault {
+                at_ms: exec_at,
+                kind: EngineFaultKind::Reclaim,
+                losses: vec![(sr.ms, sr.count)],
+            });
+        }
+    }
+    fault_schedule.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+    fault_schedule
 }
 
 /// Heap entries carry the event time pre-mapped to a totally-ordered
@@ -486,7 +543,7 @@ struct HeapItem {
 /// Applied once per push instead of once per comparison; [`key_time`]
 /// inverts it on pop.
 #[inline]
-fn time_key(time: f64) -> u64 {
+pub(crate) fn time_key(time: f64) -> u64 {
     let bits = time.to_bits();
     if bits >> 63 == 1 {
         !bits
@@ -497,7 +554,7 @@ fn time_key(time: f64) -> u64 {
 
 /// Inverse of [`time_key`].
 #[inline]
-fn key_time(key: u64) -> f64 {
+pub(crate) fn key_time(key: u64) -> f64 {
     if key >> 63 == 1 {
         f64::from_bits(key & !(1 << 63))
     } else {
@@ -549,30 +606,30 @@ struct Call {
 }
 
 #[derive(Debug)]
-struct Container {
-    busy: usize,
-    queues: Vec<VecDeque<u32>>,
+pub(crate) struct Container {
+    pub(crate) busy: usize,
+    pub(crate) queues: Vec<VecDeque<u32>>,
     /// Calls currently holding one of this container's threads (their
     /// `Done` event is in flight). At most `threads` entries, so a crash
     /// voids in-service victims in O(threads) instead of scanning the
     /// whole call arena.
-    in_service: Vec<u32>,
+    pub(crate) in_service: Vec<u32>,
     /// Crashed mid-run: receives no further calls. Kept in place so
     /// container indices held by in-flight calls stay stable.
-    failed: bool,
+    pub(crate) failed: bool,
     /// Under a spot-reclamation notice: receives no *new* calls but keeps
     /// serving its queues until the grace window closes.
-    draining: bool,
+    pub(crate) draining: bool,
     /// Cold-start gate: processing cannot begin before this time.
-    available_from: f64,
+    pub(crate) available_from: f64,
 }
 
 /// Mutable per-deployment state, indexed by `MicroserviceId::index()`
 /// alongside the immutable [`SimTables`] entry of the same index.
 #[derive(Debug)]
-struct DeploymentState {
-    containers: Vec<Container>,
-    rr: usize,
+pub(crate) struct DeploymentState {
+    pub(crate) containers: Vec<Container>,
+    pub(crate) rr: usize,
 }
 
 struct Engine<'e, S: TelemetrySink> {
@@ -671,54 +728,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                 }
             }
         }
-        // Crash-style faults become ordinary events in the heap, so they
-        // interleave with arrivals and completions deterministically.
-        let mut fault_schedule: Vec<EngineFault> = sim
-            .faults
-            .container_crashes
-            .iter()
-            .filter(|c| c.at_ms <= sim.config.duration_ms)
-            .map(|c| EngineFault {
-                at_ms: c.at_ms,
-                kind: EngineFaultKind::Crash,
-                losses: vec![(c.ms, c.count)],
-            })
-            .chain(
-                sim.faults
-                    .host_failures
-                    .iter()
-                    .filter(|h| h.at_ms <= sim.config.duration_ms)
-                    .map(|h| EngineFault {
-                        at_ms: h.at_ms,
-                        kind: EngineFaultKind::Crash,
-                        losses: h.losses.iter().map(|(&m, &c)| (m, c)).collect(),
-                    }),
-            )
-            .collect();
-        // Each spot reclamation lowers to a notice (`Drain`) at `at_ms`
-        // and, when the grace window closes inside the horizon, an
-        // execution (`Reclaim`) at `at_ms + grace_ms`. A notice whose
-        // execution falls past the horizon still drains: real providers
-        // post notices regardless of when the experiment ends.
-        for sr in &sim.faults.spot_reclamations {
-            if sr.at_ms > sim.config.duration_ms {
-                continue;
-            }
-            fault_schedule.push(EngineFault {
-                at_ms: sr.at_ms,
-                kind: EngineFaultKind::Drain,
-                losses: vec![(sr.ms, sr.count)],
-            });
-            let exec_at = sr.at_ms + sr.grace_ms;
-            if exec_at <= sim.config.duration_ms {
-                fault_schedule.push(EngineFault {
-                    at_ms: exec_at,
-                    kind: EngineFaultKind::Reclaim,
-                    losses: vec![(sr.ms, sr.count)],
-                });
-            }
-        }
-        fault_schedule.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        let fault_schedule = lower_fault_schedule(sim);
         let service_count = sim.app.service_count();
         let ms_count = sim.app.microservice_count();
         Self {
@@ -1312,7 +1322,11 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
 /// rule (§5.3.2): walk classes from highest priority; pick a non-empty
 /// class with probability `1−δ`, otherwise move on; wrap to the first
 /// non-empty class if all were skipped.
-fn pick_next(queues: &mut [VecDeque<u32>], delta: f64, rng: &mut impl Rng) -> Option<u32> {
+pub(crate) fn pick_next(
+    queues: &mut [VecDeque<u32>],
+    delta: f64,
+    rng: &mut impl Rng,
+) -> Option<u32> {
     let first_non_empty = queues.iter().position(|q| !q.is_empty())?;
     if delta > 0.0 {
         for queue in queues.iter_mut().skip(first_non_empty) {
@@ -1328,7 +1342,7 @@ fn pick_next(queues: &mut [VecDeque<u32>], delta: f64, rng: &mut impl Rng) -> Op
 }
 
 /// Exponential inter-arrival sample with rate `lambda` (per ms).
-fn exp_sample(lambda: f64, rng: &mut impl Rng) -> f64 {
+pub(crate) fn exp_sample(lambda: f64, rng: &mut impl Rng) -> f64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     -u.ln() / lambda
 }

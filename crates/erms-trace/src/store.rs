@@ -84,6 +84,28 @@ impl TraceStore {
     pub fn clear(&mut self) {
         self.traces.clear();
     }
+
+    /// Moves every trace of `other` into `self`, appending spans when a
+    /// trace exists in both — the merge step of sharded simulation, where
+    /// one trace's spans are recorded across several per-shard stores.
+    /// Sampling decisions are *not* re-checked: `other`'s spans were
+    /// admitted under its own (identical, for shard stores) sampling
+    /// configuration.
+    pub fn absorb(&mut self, other: TraceStore) {
+        for (id, spans) in other.traces {
+            self.traces.entry(id).or_default().extend(spans);
+        }
+    }
+
+    /// Sorts every trace's spans by span id, producing a canonical order
+    /// independent of recording order. Sharded runs rely on span ids being
+    /// unique within a trace, so this order is total and the canonical
+    /// store is bit-identical at every shard count.
+    pub fn sort_spans_by_id(&mut self) {
+        for spans in self.traces.values_mut() {
+            spans.sort_by_key(|s| s.span_id.0);
+        }
+    }
 }
 
 impl Default for TraceStore {

@@ -88,6 +88,34 @@ impl SynthConfig {
             ..Self::default()
         }
     }
+
+    /// The Taobao-scale preset driving the shard-scaling benchmark: 500
+    /// online services over a 5000-microservice pool with deep (~24-node)
+    /// dependency graphs — the cluster scale of the Alibaba
+    /// elastic-provisioning trace, far beyond the DeathStarBench apps of
+    /// the paper's own testbed.
+    ///
+    /// The preset is *shard-aware* by construction: microservice ids are
+    /// assigned densely in creation order, so the `id % K` shard partition
+    /// used by `erms-sim::shard_of` splits the pool into near-equal shards
+    /// for every practical `K` (the bench sweeps K ≤ 8), and the shared
+    /// segment — the ids every service calls into — is itself spread
+    /// evenly across shards, which keeps per-shard event load balanced
+    /// instead of concentrating the hot shared tier on one shard.
+    pub fn taobao_scale(seed: u64) -> Self {
+        Self {
+            microservices: 5_000,
+            services: 500,
+            nodes_per_service: 24,
+            shared_pool: 500,
+            sharing: 0.4,
+            parallel_prob: 0.35,
+            max_fanout: 4,
+            max_depth: 8,
+            sla_headroom: 6.0,
+            seed,
+        }
+    }
 }
 
 /// Generates a deterministic synthetic application per `config`.
@@ -239,6 +267,28 @@ mod tests {
         for (_, svc) in g.app.services() {
             assert!(!svc.graph.microservices().is_empty());
             assert!(svc.sla.threshold_ms.is_finite() && svc.sla.threshold_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn taobao_scale_is_shard_balanced() {
+        let g = generate(&SynthConfig::taobao_scale(5));
+        assert_eq!(g.app.microservice_count(), 5_000);
+        assert_eq!(g.app.service_count(), 500);
+        // The `id % K` partition must stay near-balanced in *graph nodes*
+        // (a proxy for event load) for every bench shard count.
+        for k in [2usize, 4, 8] {
+            let mut load = vec![0usize; k];
+            for (_, svc) in g.app.services() {
+                for (_, node) in svc.graph.iter() {
+                    load[node.microservice.index() % k] += 1;
+                }
+            }
+            let (min, max) = (*load.iter().min().unwrap(), *load.iter().max().unwrap());
+            assert!(
+                max as f64 <= min as f64 * 1.25,
+                "K={k} shard node-load imbalance: {load:?}"
+            );
         }
     }
 

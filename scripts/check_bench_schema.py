@@ -18,9 +18,17 @@ import sys
 from pathlib import Path
 
 # Dotted key paths that must exist in each committed snapshot. "[]" means
-# "every element of this (non-empty) array".
+# "every element of this (non-empty) array". A "?" prefix requires the key
+# to exist but allows an explicit null (e.g. env.rayon_num_threads when
+# the pool width was not pinned).
+#
+# Every snapshot must carry the host-environment block: parallel-speedup
+# numbers are only interpretable next to the host's hardware-thread count
+# and any RAYON_NUM_THREADS pin.
+ENV_KEYS = ["env.available_parallelism", "?env.rayon_num_threads"]
+
 REQUIRED = {
-    "BENCH_des.json": [
+    "BENCH_des.json": ENV_KEYS + [
         "quick",
         "threads",
         "engine.events",
@@ -31,7 +39,7 @@ REQUIRED = {
         "replication.speedup",
         "replication.bit_identical",
     ],
-    "BENCH_sweep.json": [
+    "BENCH_sweep.json": ENV_KEYS + [
         "quick",
         "threads",
         "grid.cells",
@@ -44,7 +52,7 @@ REQUIRED = {
         "plan_cache.hit_rate",
         "simulator.events_per_sec",
     ],
-    "BENCH_telemetry.json": [
+    "BENCH_telemetry.json": ENV_KEYS + [
         "quick",
         "sink.sampling",
         "sink.overhead_pct",
@@ -52,7 +60,7 @@ REQUIRED = {
         "sketch.inserts_per_sec",
         "sketch.merges_per_sec",
     ],
-    "BENCH_chaos.json": [
+    "BENCH_chaos.json": ENV_KEYS + [
         "quick",
         "seeds",
         "rounds",
@@ -72,7 +80,28 @@ REQUIRED = {
         "schemes.[].shed_demands",
         "schemes.[].skipped_rounds",
     ],
-    "BENCH_planner.json": [
+    "BENCH_shard.json": ENV_KEYS + [
+        "quick",
+        "topology.microservices",
+        "topology.services",
+        "topology.graph_nodes",
+        "topology.cross_shard_edge_fraction.4",
+        "scenario.duration_ms",
+        "scenario.events",
+        "scenario.golden_digest",
+        "grid.[].shards",
+        "grid.[].threads",
+        "grid.[].wall_ms",
+        "grid.[].events_per_sec",
+        "grid.[].speedup_vs_serial",
+        "grid.[].bit_identical",
+        "single_shard_overhead.sequential_events_per_sec",
+        "single_shard_overhead.sharded_k1_events_per_sec",
+        "speedup_4shards_4threads",
+        "target_speedup",
+        "target_checked",
+    ],
+    "BENCH_planner.json": ENV_KEYS + [
         "quick",
         "mode",
         "reps",
@@ -119,12 +148,14 @@ def check(path: Path, required) -> list:
     except (OSError, json.JSONDecodeError) as e:
         return [f"{path}: unreadable ({e})"]
     for key in required:
+        nullable = key.startswith("?")
+        bare = key[1:] if nullable else key
         try:
-            for value in lookup(data, key.split(".")):
-                if value is None:
-                    errors.append(f"{path}: key '{key}' is null")
+            for value in lookup(data, bare.split(".")):
+                if value is None and not nullable:
+                    errors.append(f"{path}: key '{bare}' is null")
         except KeyError as e:
-            errors.append(f"{path}: missing key '{key}' (at {e})")
+            errors.append(f"{path}: missing key '{bare}' (at {e})")
     return errors
 
 

@@ -264,6 +264,42 @@ fn golden_digest_is_pinned() {
 /// dense == reference assertions above never drifted).
 const GOLDEN_DIGEST: u64 = 4880943419187733637;
 
+/// The sharded engine's own pinned digest, on the same configuration as
+/// `golden_digest_is_pinned`. The sharded engine consumes entity-keyed
+/// RNG streams instead of `run`'s single global stream, so its digest is
+/// a *different* constant — pinned here so the whole K × thread matrix is
+/// anchored to one captured value, not merely self-consistent.
+#[test]
+fn sharded_golden_digest_is_pinned() {
+    let (app, ms_ids, services) = chain_app();
+    let cs = containers_for(&app, 2);
+    let mut sim = Simulation::new(&app, base_config(42));
+    for &ms in &ms_ids {
+        sim.set_service_time(ms, ServiceTimeModel::new(2.0, 0.3, 1.0, 0.5));
+    }
+    sim.set_uniform_interference(Interference::new(0.2, 0.2));
+    let mut w = WorkloadVector::new();
+    w.set(services[0], RequestRate::per_minute(3_000.0));
+    let base = sim.run_sharded(&w, &cs, &BTreeMap::new(), 1).unwrap();
+    assert_eq!(
+        digest(&base),
+        SHARDED_GOLDEN_DIGEST,
+        "pinned sharded golden digest drifted"
+    );
+    for k in [2usize, 4] {
+        let sharded = sim.run_sharded(&w, &cs, &BTreeMap::new(), k).unwrap();
+        assert_eq!(
+            digest(&sharded),
+            SHARDED_GOLDEN_DIGEST,
+            "K={k} diverged from the pinned sharded digest"
+        );
+    }
+}
+
+/// FNV-1a digest of the `sharded_golden_digest_is_pinned` configuration,
+/// captured from `run_sharded(.., 1)` when the sharded engine landed.
+const SHARDED_GOLDEN_DIGEST: u64 = 3806858764435182055;
+
 /// The telemetry sink must be invisible to the simulation: its sampling
 /// coin is a private counter-hash stream, never the engine RNG, so a
 /// run observed by an enabled collector reproduces the pinned golden

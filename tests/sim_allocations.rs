@@ -51,6 +51,17 @@ static COUNTER: CountingAlloc = CountingAlloc;
 /// preallocated up front), so the count isolates the sink's per-event
 /// marginal cost.
 fn run_counted(duration_ms: f64, sampling: Option<f64>) -> (u64, u64) {
+    run_counted_inner(duration_ms, sampling, None)
+}
+
+/// The sharded variant: same scenario through `run_sharded` at `shards`
+/// shards. Telemetry sinks are not attached (the shard engine takes one
+/// sink per shard; the merge cost is covered by erms-telemetry's tests).
+fn run_counted_sharded(duration_ms: f64, shards: usize) -> (u64, u64) {
+    run_counted_inner(duration_ms, None, Some(shards))
+}
+
+fn run_counted_inner(duration_ms: f64, sampling: Option<f64>, shards: Option<usize>) -> (u64, u64) {
     let (app, _, [s1, s2]) = fig5_app(300.0);
     let itf = Interference::new(0.3, 0.3);
     let mut w = WorkloadVector::new();
@@ -98,11 +109,14 @@ fn run_counted(duration_ms: f64, sampling: Option<f64>) -> (u64, u64) {
     });
 
     let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    let result = match collector.as_mut() {
-        Some(collector) => sim
+    let result = match (collector.as_mut(), shards) {
+        (Some(collector), _) => sim
             .run_with_sink(&w, &containers, &priorities, collector)
             .expect("sim runs"),
-        None => sim.run(&w, &containers, &priorities).expect("sim runs"),
+        (None, Some(k)) => sim
+            .run_sharded(&w, &containers, &priorities, k)
+            .expect("sim runs"),
+        (None, None) => sim.run(&w, &containers, &priorities).expect("sim runs"),
     };
     let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
     if let Some(collector) = &collector {
@@ -164,5 +178,21 @@ fn event_loop_allocations_grow_sublinearly_with_events() {
         sink_marginal < marginal + 0.5,
         "sink marginal ({sink_marginal:.3}) should stay near bare-engine \
          marginal ({marginal:.3})"
+    );
+
+    // The sharded engine must hold the same discipline: call slots live in
+    // a reused arena, mailbox buffers are swapped back after every drain
+    // (capacity ping-pong, never dropped), and per-shard heaps grow
+    // amortized — so the K = 4 path stays under 0.5 marginal allocator
+    // calls per event too.
+    let (shard_events_short, shard_allocs_short) = run_counted_sharded(4_000.0, 4);
+    let (shard_events_long, shard_allocs_long) = run_counted_sharded(32_000.0, 4);
+    let shard_marginal = (shard_allocs_long - shard_allocs_short) as f64
+        / (shard_events_long - shard_events_short) as f64;
+    assert!(
+        shard_marginal < 0.5,
+        "sharded path must stay below 0.5 marginal allocs/event, got \
+         {shard_marginal:.3} ({shard_allocs_short} allocs for {shard_events_short} \
+         events vs {shard_allocs_long} allocs for {shard_events_long} events)"
     );
 }
