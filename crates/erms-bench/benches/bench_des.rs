@@ -23,10 +23,14 @@ use std::time::Instant;
 use erms_core::latency::Interference;
 use erms_core::manager::ErmsScaler;
 use erms_core::prelude::{MicroserviceId, RequestRate, ServiceId, WorkloadVector};
+use erms_sim::equeue::CalendarQueue;
 use erms_sim::runtime::{SimConfig, SimResult, Simulation};
 use erms_sim::service_time::derive_from_profile;
+use erms_sim::timekey::{key_time, time_key};
 use erms_sim::{replicate, replicate_serial};
 use erms_workload::apps::fig5_app;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// The benchmarked scenario: the Fig. 5 app under a planned allocation,
 /// exactly as `bench_sweep`'s events/sec probe builds it.
@@ -134,6 +138,127 @@ fn time_min_pair<TA, TB>(
     )
 }
 
+/// Batch-size histogram over same-key pop groups: buckets for sizes 1,
+/// 2, 3, 4, 5–8 and >8.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+struct BatchHist([u64; 6]);
+
+impl BatchHist {
+    fn add(&mut self, n: usize) {
+        let b = match n {
+            0..=1 => 0,
+            2 => 1,
+            3 => 2,
+            4 => 3,
+            5..=8 => 4,
+            _ => 5,
+        };
+        self.0[b] += 1;
+    }
+
+    fn json(&self) -> String {
+        let [one, two, three, four, mid, big] = self.0;
+        format!(
+            "{{\"1\": {one}, \"2\": {two}, \"3\": {three}, \"4\": {four}, \"5_8\": {mid}, \"gt_8\": {big}}}"
+        )
+    }
+}
+
+/// FNV-1a fold step for the pop-sequence digest.
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+const HOLD_SEED: u64 = 0xD15C;
+const HOLD_OCCUPANCY: u32 = 256;
+
+/// Seeds `occupancy` entries at distinct instants; both queue variants
+/// start from the identical state and draw identical `dt` streams, so
+/// their pop sequences must match entry for entry.
+fn hold_seed_times(occupancy: u32) -> impl Iterator<Item = (u64, f64)> {
+    (0..occupancy).map(|i| (u64::from(i) + 1, 0.1 * f64::from(i + 1)))
+}
+
+/// Pre-draws the gap stream consumed by one hold-model pass. Every
+/// popped entry schedules exactly one replacement, and the two queue
+/// variants pop in the identical order, so both consume the same stream
+/// index for index — pre-drawing keeps the RNG and `powf` out of the
+/// timed region. Padded past `ops` because the final batch may overshoot
+/// the op budget by up to the queue occupancy.
+fn hold_gaps(ops: u64, dt: impl Fn(&mut StdRng) -> f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(HOLD_SEED);
+    (0..ops + u64::from(HOLD_OCCUPANCY))
+        .map(|_| dt(&mut rng))
+        .collect()
+}
+
+/// Hold-model pass over the calendar queue: pop the minimal same-key
+/// group, reschedule every popped entry at `t + gaps[i]`, until `ops`
+/// entries have been popped. Returns the pop-sequence digest and the
+/// batch-size histogram.
+fn calendar_pass(ops: u64, gaps: &[f64]) -> (u64, BatchHist) {
+    let mut q: CalendarQueue<u64, u32> = CalendarQueue::new();
+    let mut seq = u64::from(HOLD_OCCUPANCY);
+    for (tie, t) in hold_seed_times(HOLD_OCCUPANCY) {
+        q.push(time_key(t), tie, 0);
+    }
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut hist = BatchHist::default();
+    let mut batch: Vec<(u64, u32)> = Vec::new();
+    let mut popped = 0usize;
+    while (popped as u64) < ops {
+        batch.clear();
+        let key = q.pop_batch(&mut batch).expect("hold model never empties");
+        hist.add(batch.len());
+        let t = key_time(key);
+        for &(tie, _) in batch.iter() {
+            digest = fnv(fnv(digest, key), tie);
+            seq += 1;
+            q.push(time_key(t + gaps[popped]), seq, 0);
+            popped += 1;
+        }
+    }
+    (digest, hist)
+}
+
+/// The identical hold model over `BinaryHeap` (the pre-refactor
+/// scheduler). Equal-key groups are collected via `peek` before the
+/// replacements are pushed, mirroring the calendar's batch grouping —
+/// the digests and histograms must come out equal.
+fn heap_pass(ops: u64, gaps: &[f64]) -> (u64, BatchHist) {
+    let mut q: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>> =
+        std::collections::BinaryHeap::new();
+    let mut seq = u64::from(HOLD_OCCUPANCY);
+    for (tie, t) in hold_seed_times(HOLD_OCCUPANCY) {
+        q.push(std::cmp::Reverse((time_key(t), tie)));
+    }
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut hist = BatchHist::default();
+    let mut batch: Vec<u64> = Vec::new();
+    let mut popped = 0usize;
+    while (popped as u64) < ops {
+        batch.clear();
+        let std::cmp::Reverse((key, tie)) = q.pop().expect("hold model never empties");
+        batch.push(tie);
+        while let Some(&std::cmp::Reverse((k, _))) = q.peek() {
+            if k != key {
+                break;
+            }
+            let std::cmp::Reverse((_, tie)) = q.pop().expect("peeked");
+            batch.push(tie);
+        }
+        hist.add(batch.len());
+        let t = key_time(key);
+        for &tie in batch.iter() {
+            digest = fnv(fnv(digest, key), tie);
+            seq += 1;
+            q.push(std::cmp::Reverse((time_key(t + gaps[popped]), seq)));
+            popped += 1;
+        }
+    }
+    (digest, hist)
+}
+
 fn json_f(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
@@ -213,9 +338,58 @@ fn main() {
         "replication: {rep_count} runs — serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms, speedup {rep_speedup:.2}x (bit-identical)"
     );
 
+    // --- Queue microbench: calendar vs binary heap, hold model. ---
+    // Dense keys quantise inter-event gaps to a 0.25 ms grid (sweep-style
+    // same-instant fan-out: many key collisions, real batches); sparse
+    // keys draw heavy-tailed gaps (chaos-style: near-all singleton
+    // groups, large jumps through the bucket space).
+    let (queue_ops, queue_reps) = if quick {
+        (200_000u64, 2)
+    } else {
+        (2_000_000u64, 5)
+    };
+    let dense_dt = |rng: &mut StdRng| {
+        let raw = 0.05 + rng.gen::<f64>() * 4.0;
+        (raw / 0.25).ceil() * 0.25
+    };
+    let sparse_dt = |rng: &mut StdRng| {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        (0.05 * u.powf(-1.5)).min(1e5)
+    };
+    let mut queue_json = String::new();
+    for (name, dt) in [
+        ("dense", &dense_dt as &dyn Fn(&mut StdRng) -> f64),
+        ("sparse", &sparse_dt),
+    ] {
+        let gaps = hold_gaps(queue_ops, dt);
+        let ((heap_ms, (heap_digest, heap_hist)), (cal_ms, (cal_digest, cal_hist))) = time_min_pair(
+            queue_reps,
+            || heap_pass(queue_ops, &gaps),
+            || calendar_pass(queue_ops, &gaps),
+        );
+        assert_eq!(
+            (heap_digest, heap_hist),
+            (cal_digest, cal_hist),
+            "{name}: calendar pop sequence diverged from the heap"
+        );
+        let speedup = heap_ms / cal_ms.max(1e-9);
+        println!(
+            "queue_compare/{name}: {queue_ops} ops — heap {heap_ms:.1} ms, calendar {cal_ms:.1} ms, speedup {speedup:.2}x, batches {hist:?} (identical pop sequence)",
+            hist = cal_hist.0
+        );
+        queue_json.push_str(&format!(
+            ",\n    \"{name}\": {{\n      \"heap_wall_ms\": {h},\n      \"calendar_wall_ms\": {c},\n      \"speedup\": {s},\n      \"identical_pop_sequence\": true,\n      \"batch_hist\": {bh}\n    }}",
+            h = json_f(heap_ms),
+            c = json_f(cal_ms),
+            s = json_f(speedup),
+            bh = cal_hist.json(),
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"env\": {env},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"engine\": {{\n    \"duration_ms\": {engine_ms},\n    \"events\": {events},\n    \"dense_wall_ms\": {dw},\n    \"reference_wall_ms\": {rw},\n    \"dense_events_per_sec\": {de},\n    \"reference_events_per_sec\": {re},\n    \"speedup\": {es},\n    \"bit_identical\": true\n  }},\n  \"replication\": {{\n    \"replications\": {rep_count},\n    \"sim_duration_ms\": {rep_sim_ms},\n    \"serial_wall_ms\": {sw},\n    \"parallel_wall_ms\": {pw},\n    \"speedup\": {rs},\n    \"bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"env\": {env},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"engine\": {{\n    \"duration_ms\": {engine_ms},\n    \"events\": {events},\n    \"dense_wall_ms\": {dw},\n    \"reference_wall_ms\": {rw},\n    \"dense_events_per_sec\": {de},\n    \"reference_events_per_sec\": {re},\n    \"speedup\": {es},\n    \"bit_identical\": true\n  }},\n  \"replication\": {{\n    \"replications\": {rep_count},\n    \"sim_duration_ms\": {rep_sim_ms},\n    \"serial_wall_ms\": {sw},\n    \"parallel_wall_ms\": {pw},\n    \"speedup\": {rs},\n    \"bit_identical\": true\n  }},\n  \"queue_compare\": {{\n    \"ops\": {queue_ops},\n    \"occupancy\": {occupancy}{queue_json}\n  }}\n}}\n",
         env = erms_bench::env_json(),
+        occupancy = HOLD_OCCUPANCY,
         dw = json_f(dense_ms),
         rw = json_f(reference_ms),
         de = json_f(dense_eps),

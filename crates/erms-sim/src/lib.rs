@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod equeue;
 pub mod faults;
 pub mod reference;
 pub mod replicate;
@@ -67,6 +68,7 @@ pub mod shard;
 pub mod stats;
 mod tables;
 pub mod telemetry;
+pub mod timekey;
 
 pub use faults::{ClusterFault, ClusterFaultPlan, FaultError, FaultPlan, SpotReclamation};
 pub use replicate::{replicate, replicate_serial, replication_seed};

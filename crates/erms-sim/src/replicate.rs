@@ -16,6 +16,13 @@
 //! * **Ordered reduction** — results come back indexed by replication
 //!   number (the rayon stub's parallel map is ordered), so the returned
 //!   `Vec` is element-for-element the serial loop's output.
+//! * **Serial fallback for small batches** — when `n` is below the
+//!   worker-pool width, [`replicate`] runs the plain serial loop instead
+//!   of fanning out: too few replications to fill the pool makes
+//!   dispatch pure overhead. Observable output is unchanged (the
+//!   parallel path is bit-identical by contract); only the fan-out cost
+//!   is skipped. The sharded engine applies the same small-work rule to
+//!   its windows (see [`crate::shard`]).
 //!
 //! Determinism is pinned by `erms-sim/tests/replicate_determinism.rs`,
 //! which compares serial and parallel output digests under forced 1-, 2-

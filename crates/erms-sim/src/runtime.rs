@@ -16,8 +16,7 @@
 //! [`crate::reference`] and the golden-seed suite asserts both produce
 //! bit-identical results.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use erms_core::app::{App, WorkloadVector};
 use erms_core::error::{Error, Result};
@@ -29,11 +28,13 @@ use erms_trace::store::TraceStore;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::equeue::{CalendarQueue, Popped};
 use crate::faults::FaultPlan;
 use crate::service_time::ServiceTimeModel;
 use crate::stats;
 use crate::tables::SimTables;
 use crate::telemetry::{NullSink, RequestRecord, SpanRecord, TelemetrySink};
+use crate::timekey::{key_time, time_key};
 
 /// Request scheduling policy at each container (§5.3.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -526,63 +527,6 @@ pub(crate) fn lower_fault_schedule(sim: &Simulation<'_>) -> Vec<EngineFault> {
     fault_schedule
 }
 
-/// Heap entries carry the event time pre-mapped to a totally-ordered
-/// `u64` key ([`time_key`]), so the hottest comparison site in the engine
-/// — every sift step of every heap push and pop — is a plain integer
-/// compare instead of `f64::total_cmp`'s per-comparison bit gymnastics.
-#[derive(Debug)]
-struct HeapItem {
-    time_key: u64,
-    seq: u64,
-    event: Event,
-}
-
-/// Maps a time to a `u64` whose integer order equals `f64::total_cmp`
-/// order: non-negative floats get the sign bit set (ascending above all
-/// negatives), negative floats are bit-flipped (descending magnitude).
-/// Applied once per push instead of once per comparison; [`key_time`]
-/// inverts it on pop.
-#[inline]
-pub(crate) fn time_key(time: f64) -> u64 {
-    let bits = time.to_bits();
-    if bits >> 63 == 1 {
-        !bits
-    } else {
-        bits | (1 << 63)
-    }
-}
-
-/// Inverse of [`time_key`].
-#[inline]
-pub(crate) fn key_time(key: u64) -> f64 {
-    if key >> 63 == 1 {
-        f64::from_bits(key & !(1 << 63))
-    } else {
-        f64::from_bits(!key)
-    }
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.time_key == other.time_key && self.seq == other.seq
-    }
-}
-impl Eq for HeapItem {}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, seq).
-        other
-            .time_key
-            .cmp(&self.time_key)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 // `Copy` is load-bearing for the hot path: `complete()` reads the call out
 // of the arena by value, with no per-event heap traffic.
 #[derive(Debug, Clone, Copy)]
@@ -601,6 +545,11 @@ struct Call {
     in_use: bool,
     /// Currently holding a container thread (a `Done` event is in flight).
     in_service: bool,
+    /// While `in_service`: this call's slot in its container's
+    /// `in_service` vector, so leaving service is O(1) instead of a scan.
+    /// Stale once the call leaves service or its container crashes
+    /// (crashes void the whole vector), and never read in those states.
+    svc_pos: u32,
     /// The serving container crashed; the pending `Done` is void.
     killed: bool,
 }
@@ -632,17 +581,39 @@ pub(crate) struct DeploymentState {
     pub(crate) rr: usize,
 }
 
-struct Engine<'e, S: TelemetrySink> {
-    heap: BinaryHeap<HeapItem>,
-    /// A held event known to precede everything in the heap (its
-    /// `(time_key, seq)` is strictly below the heap's minimum; keys are
-    /// unique, so it *is* the next event). The common case — a `Ready`
-    /// scheduled at the current instant — flows through this slot and
-    /// skips both heap sift chains. `push` keeps the invariant: a new
-    /// event either displaces the held one (the loser goes to the heap)
-    /// or goes to the heap itself.
-    pending: Option<HeapItem>,
+/// One service's pending Poisson arrival (see `Engine::arrivals`).
+#[derive(Clone, Copy)]
+struct ArrivalSlot {
+    key: u64,
     seq: u64,
+    time: f64,
+}
+
+struct Engine<'e, S: TelemetrySink> {
+    /// Future events keyed by packed time ([`time_key`]) with the
+    /// monotone push counter `seq` as tiebreak — the calendar queue pops
+    /// in exactly the `(time_key, seq)` total order the old binary heap
+    /// produced (golden digests pin this end to end).
+    queue: CalendarQueue<u64, Event>,
+    seq: u64,
+    /// The same-instant group being dispatched. `pop_batch` proves every
+    /// queued event with `batch_key` is already in this buffer, and `seq`
+    /// is monotone, so an event pushed *at* the dispatched instant (the
+    /// common `Ready`-now case) is a plain append here — no queue touch —
+    /// and still pops in exactly the old heap's `(time_key, seq)` order.
+    batch_items: Vec<(u64, Event)>,
+    /// Packed key of the live batch; `u64::MAX` when idle (a real packed
+    /// time key of a finite event time can never equal it).
+    batch_key: u64,
+    /// Per-service next Poisson arrival, kept out of the calendar queue:
+    /// each service's stream is time-monotone, so one slot per service
+    /// replaces a third of all queue traffic. `key == u64::MAX` marks an
+    /// exhausted stream. `seq` is assigned at schedule time exactly as a
+    /// queue push would be, so merging [`Self::arr_min`] against the
+    /// queue front by `(key, seq)` reproduces the heap's total order.
+    arrivals: Vec<ArrivalSlot>,
+    /// Cached minimum over `arrivals` as `(key, seq, service index)`.
+    arr_min: (u64, u64, u32),
     /// Hot configuration scalars copied out of `sim` at setup, so the
     /// event loop reads engine-local fields instead of chasing the
     /// `&Simulation` reference per event.
@@ -700,7 +671,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             .microservices()
             .map(|(ms, _)| {
                 let n = containers.get(&ms).copied().unwrap_or(0) as usize;
-                let n_classes = tables.ms[ms.index()].n_classes;
+                let n_classes = tables.cold.n_classes[ms.index()] as usize;
                 DeploymentState {
                     containers: (0..n)
                         .map(|_| Container {
@@ -731,9 +702,34 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
         let fault_schedule = lower_fault_schedule(sim);
         let service_count = sim.app.service_count();
         let ms_count = sim.app.microservice_count();
+        // Reserve the result tables near their Poisson-expected sizes so
+        // steady-state pushes never trigger a doubling memcpy mid-run;
+        // contents are unaffected. Capped so a mis-sized config cannot
+        // balloon the reservation.
+        let horizon_ms = (sim.config.duration_ms - sim.config.warmup_ms).max(0.0);
+        let result_latencies: Vec<Vec<f64>> = tables
+            .hot
+            .rate_per_ms
+            .iter()
+            .map(|rate| Vec::with_capacity(((rate * horizon_ms) as usize + 16).min(1 << 21)))
+            .collect();
+        let total_rate: f64 = tables.hot.rate_per_ms.iter().sum();
+        let own_cap = ((total_rate * horizon_ms) as usize + 16).min(1 << 21);
+        let result_own: Vec<Vec<(f64, f64, ServiceId)>> =
+            (0..ms_count).map(|_| Vec::with_capacity(own_cap)).collect();
         Self {
-            heap: BinaryHeap::new(),
-            pending: None,
+            queue: CalendarQueue::new(),
+            batch_items: Vec::new(),
+            batch_key: u64::MAX,
+            arrivals: vec![
+                ArrivalSlot {
+                    key: u64::MAX,
+                    seq: u64::MAX,
+                    time: 0.0,
+                };
+                service_count
+            ],
+            arr_min: (u64::MAX, u64::MAX, 0),
             seq: 0,
             max_events: sim.config.max_events,
             duration_ms: sim.config.duration_ms,
@@ -754,8 +750,8 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             store: TraceStore::with_sampling(sim.config.trace_sampling, sim.config.seed ^ 0xA5A5),
             next_trace: 1,
             next_span: 1,
-            result_latencies: vec![Vec::new(); service_count],
-            result_own: vec![Vec::new(); ms_count],
+            result_latencies,
+            result_own,
             generated: 0,
             completed: 0,
             dropped: 0,
@@ -771,32 +767,40 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
 
     fn push(&mut self, time: f64, event: Event) {
         self.seq += 1;
-        let item = HeapItem {
-            time_key: time_key(time),
-            seq: self.seq,
-            event,
-        };
-        match &self.pending {
-            Some(p) => {
-                if (item.time_key, item.seq) < (p.time_key, p.seq) {
-                    let prev = self.pending.replace(item).expect("checked Some");
-                    self.heap.push(prev);
-                } else {
-                    self.heap.push(item);
-                }
-            }
-            None => {
-                let beats_heap = self
-                    .heap
-                    .peek()
-                    .is_none_or(|top| (item.time_key, item.seq) < (top.time_key, top.seq));
-                if beats_heap {
-                    self.pending = Some(item);
-                } else {
-                    self.heap.push(item);
-                }
+        let key = time_key(time);
+        if key == self.batch_key {
+            // Scheduled at the instant being dispatched: joins the live
+            // batch. `seq` is monotone, so this is always an append.
+            self.batch_items.push((self.seq, event));
+        } else {
+            self.queue.push(key, self.seq, event);
+        }
+    }
+
+    /// Arms service `sid`'s arrival slot for `time` — the arrival-stream
+    /// equivalent of [`Self::push`], consuming one `seq` at the same
+    /// point so the merged total order is the heap's.
+    fn push_arrival(&mut self, sid: ServiceId, time: f64) {
+        self.seq += 1;
+        let key = time_key(time);
+        let slot = &mut self.arrivals[sid.index()];
+        slot.key = key;
+        slot.seq = self.seq;
+        slot.time = time;
+        if (key, self.seq) < (self.arr_min.0, self.arr_min.1) {
+            self.arr_min = (key, self.seq, sid.index() as u32);
+        }
+    }
+
+    /// Re-derives [`Self::arr_min`] after the minimum slot was consumed.
+    fn rescan_arrivals(&mut self) {
+        let mut best = (u64::MAX, u64::MAX, 0u32);
+        for (i, s) in self.arrivals.iter().enumerate() {
+            if (s.key, s.seq) < (best.0, best.1) {
+                best = (s.key, s.seq, i as u32);
             }
         }
+        self.arr_min = best;
     }
 
     fn alloc_call(&mut self, call: Call) -> u32 {
@@ -820,15 +824,38 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
         id
     }
 
+    /// Dispatches the live batch (which may grow while it runs) in tie
+    /// order; returns `false` when the event budget is exhausted.
+    #[inline(always)]
+    fn drain_batch(&mut self, time: f64, events: &mut u64) -> bool {
+        let mut i = 0;
+        while i < self.batch_items.len() {
+            let (_, event) = self.batch_items[i];
+            i += 1;
+            *events += 1;
+            if *events > self.max_events {
+                return false;
+            }
+            match event {
+                Event::Arrival(sid) => self.on_arrival(sid, time),
+                Event::Ready(call) => self.on_ready(call, time),
+                Event::Done(call) => self.on_done(call, time),
+                Event::Fault(i) => self.on_fault(i as usize),
+            }
+        }
+        self.batch_key = u64::MAX;
+        true
+    }
+
     fn run(mut self) -> SimResult {
         // Seed one arrival per active service. Index order equals the id
         // order of the old `WorkloadVector` iteration, so RNG consumption
         // matches the reference engine draw for draw.
-        for i in 0..self.tables.rate_per_ms.len() {
-            let lambda = self.tables.rate_per_ms[i];
+        for i in 0..self.tables.hot.rate_per_ms.len() {
+            let lambda = self.tables.hot.rate_per_ms[i];
             if lambda > 0.0 {
                 let dt = exp_sample(lambda, &mut self.rng);
-                self.push(dt, Event::Arrival(ServiceId::new(i as u32)));
+                self.push_arrival(ServiceId::new(i as u32), dt);
             }
         }
         for i in 0..self.fault_schedule.len() {
@@ -836,20 +863,99 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             self.push(at, Event::Fault(i as u32));
         }
         let mut events = 0u64;
-        while let Some(HeapItem {
-            time_key, event, ..
-        }) = self.pending.take().or_else(|| self.heap.pop())
-        {
-            let time = key_time(time_key);
-            events += 1;
-            if events > self.max_events {
-                break;
-            }
-            match event {
-                Event::Arrival(sid) => self.on_arrival(sid, time),
-                Event::Ready(call) => self.on_ready(call, time),
-                Event::Done(call) => self.on_done(call, time),
-                Event::Fault(i) => self.on_fault(i as usize),
+        // Outer loop: one queue touch per same-instant group — the
+        // key→time decode is paid once per batch, not per event. The
+        // arrival streams merge in at the top by `(key, seq)`; events
+        // pushed at the current instant mid-batch append to
+        // `batch_items` and `drain_batch` picks them up by index.
+        'run: loop {
+            let (akey, aseq, asid) = self.arr_min;
+            self.batch_items.clear();
+            // A queue group with key strictly below the next arrival
+            // dispatches first; an exact key tie also pops the group, and
+            // the arrival is seq-interleaved into it below, so equal-key
+            // pushes landing mid-batch still follow every queued peer.
+            match self.queue.pop_upto(akey, &mut self.batch_items) {
+                Popped::One(key, seq, event) => {
+                    self.batch_key = key;
+                    let time = key_time(key);
+                    if akey == key {
+                        // An arrival whose packed key exactly ties the
+                        // popped entry: order the pair by `seq`
+                        // (measure-zero with continuous draws, but the
+                        // order contract is exact).
+                        let arr = (aseq, Event::Arrival(ServiceId::new(asid)));
+                        if aseq < seq {
+                            self.batch_items.push(arr);
+                            self.batch_items.push((seq, event));
+                        } else {
+                            self.batch_items.push((seq, event));
+                            self.batch_items.push(arr);
+                        }
+                        let slot = &mut self.arrivals[asid as usize];
+                        slot.key = u64::MAX;
+                        slot.seq = u64::MAX;
+                        self.rescan_arrivals();
+                        if !self.drain_batch(time, &mut events) {
+                            break 'run;
+                        }
+                        continue 'run;
+                    }
+                    // Dominant case: a lone event at this instant.
+                    // Dispatch it straight off the queue; same-instant
+                    // pushes from its handler land in `batch_items` and
+                    // `drain_batch` sweeps them up.
+                    events += 1;
+                    if events > self.max_events {
+                        break 'run;
+                    }
+                    match event {
+                        Event::Arrival(sid) => self.on_arrival(sid, time),
+                        Event::Ready(call) => self.on_ready(call, time),
+                        Event::Done(call) => self.on_done(call, time),
+                        Event::Fault(i) => self.on_fault(i as usize),
+                    }
+                    if !self.drain_batch(time, &mut events) {
+                        break 'run;
+                    }
+                }
+                Popped::Group(key) => {
+                    self.batch_key = key;
+                    if akey == key {
+                        // Same tie contract as above, for a multi-entry
+                        // group: insert at the arrival's `seq` position.
+                        let at = self.batch_items.partition_point(|&(s, _)| s < aseq);
+                        self.batch_items
+                            .insert(at, (aseq, Event::Arrival(ServiceId::new(asid))));
+                        let slot = &mut self.arrivals[asid as usize];
+                        slot.key = u64::MAX;
+                        slot.seq = u64::MAX;
+                        self.rescan_arrivals();
+                    }
+                    if !self.drain_batch(key_time(key), &mut events) {
+                        break 'run;
+                    }
+                }
+                Popped::None if akey != u64::MAX => {
+                    // Next arrival precedes everything queued: dispatch
+                    // it straight from its slot — no queue pop and no
+                    // batch materialization on this path.
+                    let slot = &mut self.arrivals[asid as usize];
+                    let time = slot.time;
+                    slot.key = u64::MAX;
+                    slot.seq = u64::MAX;
+                    self.batch_key = akey;
+                    events += 1;
+                    if events > self.max_events {
+                        break 'run;
+                    }
+                    self.on_arrival(ServiceId::new(asid), time);
+                    if !self.drain_batch(time, &mut events) {
+                        break 'run;
+                    }
+                    self.rescan_arrivals();
+                }
+                Popped::None => break 'run,
             }
         }
         // Densely-indexed result tables fold back into the public map API.
@@ -971,11 +1077,11 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
 
     fn on_arrival(&mut self, sid: ServiceId, time: f64) {
         // Schedule the next arrival while inside the horizon.
-        let lambda = self.tables.rate_per_ms[sid.index()];
+        let lambda = self.tables.hot.rate_per_ms[sid.index()];
         if lambda > 0.0 {
             let next = time + exp_sample(lambda, &mut self.rng);
             if next <= self.duration_ms {
-                self.push(next, Event::Arrival(sid));
+                self.push_arrival(sid, next);
             }
         }
         self.generated += 1;
@@ -1013,6 +1119,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             trace,
             in_use: true,
             in_service: false,
+            svc_pos: 0,
             killed: false,
         });
         self.push(time, Event::Ready(call));
@@ -1059,30 +1166,34 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
             call.container = c_idx as u32;
             call.arrive = time;
         }
-        let table = &self.tables.ms[mi];
-        let threads = table.threads;
-        let sampler = table.sampler;
+        let hot = &self.tables.hot;
+        let threads = hot.threads(mi);
+        let sampler = hot.samplers[mi];
         let container = &mut self.state[mi].containers[c_idx];
         if container.busy < threads {
             container.busy += 1;
+            let pos = container.in_service.len() as u32;
             container.in_service.push(idx);
             // A cold container accepts work but cannot process it before
             // its start-up completes.
             let start = time.max(container.available_from);
             let dt = sampler.sample(&mut self.rng);
-            self.calls[idx as usize].in_service = true;
+            let call = &mut self.calls[idx as usize];
+            call.in_service = true;
+            call.svc_pos = pos;
             self.push(start + dt, Event::Done(idx));
         } else {
-            // The class table is only consulted on the enqueue path; a
+            // The class column is only consulted on the enqueue path; a
             // free thread serves regardless of priority.
-            container.queues[table.class(service)].push_back(idx);
+            let class = self.tables.hot.class(mi, service);
+            self.state[mi].containers[c_idx].queues[class].push_back(idx);
         }
     }
 
     fn on_done(&mut self, idx: u32, time: f64) {
         // One borrow covers the killed check, the in-service reset and the
         // routing reads — three separate index operations otherwise.
-        let (ms, container_idx, arrive, service) = {
+        let (ms, container_idx, arrive, service, svc_pos) = {
             let call = &mut self.calls[idx as usize];
             // The serving container crashed while this call held a thread:
             // the crash already counted the violation and reset the
@@ -1092,10 +1203,15 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                 return;
             }
             call.in_service = false;
-            (call.ms, call.container as usize, call.arrive, call.service)
+            (
+                call.ms,
+                call.container as usize,
+                call.arrive,
+                call.service,
+                call.svc_pos as usize,
+            )
         };
         let mi = ms.index();
-        let sampler = self.tables.ms[mi].sampler;
         let next_start = {
             let delta = self.delta;
             let container = &mut self.state[mi].containers[container_idx];
@@ -1106,16 +1222,20 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                 None
             } else {
                 // This call leaves service: drop it from the container's
-                // in-service index (at most `threads` entries).
-                if let Some(pos) = container.in_service.iter().position(|&c| c == idx) {
-                    container.in_service.swap_remove(pos);
+                // in-service index in O(1) via its tracked slot, patching
+                // the slot of the entry `swap_remove` moved into its place.
+                debug_assert_eq!(container.in_service.get(svc_pos).copied(), Some(idx));
+                container.in_service.swap_remove(svc_pos);
+                if let Some(&moved) = container.in_service.get(svc_pos) {
+                    self.calls[moved as usize].svc_pos = svc_pos as u32;
                 }
                 let picked = pick_next(&mut container.queues, delta, &mut self.rng);
                 match picked {
                     Some(next) => {
+                        let pos = container.in_service.len() as u32;
                         container.in_service.push(next);
-                        let dt = sampler.sample(&mut self.rng);
-                        Some((next, dt))
+                        let dt = self.tables.hot.samplers[mi].sample(&mut self.rng);
+                        Some((next, dt, pos))
                     }
                     None => {
                         container.busy -= 1;
@@ -1124,8 +1244,10 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                 }
             }
         };
-        if let Some((next, dt)) = next_start {
-            self.calls[next as usize].in_service = true;
+        if let Some((next, dt, pos)) = next_start {
+            let call = &mut self.calls[next as usize];
+            call.in_service = true;
+            call.svc_pos = pos;
             self.push(time + dt, Event::Done(next));
         }
 
@@ -1137,7 +1259,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                     service,
                     microservice: ms,
                     container: container_idx as u32,
-                    priority_class: self.tables.ms[mi].class(service) as u32,
+                    priority_class: self.tables.hot.class(mi, service) as u32,
                     start_ms: arrive,
                     end_ms: time,
                 });
@@ -1194,6 +1316,7 @@ impl<'e, S: TelemetrySink> Engine<'e, S> {
                     trace,
                     in_use: true,
                     in_service: false,
+                    svc_pos: 0,
                     killed: false,
                 });
                 self.push(time + net, Event::Ready(child));

@@ -1,15 +1,25 @@
-//! Dense per-index lookup tables for the DES engine.
+//! Dense per-index lookup tables for the DES engine, split by access
+//! temperature.
 //!
 //! `MicroserviceId` and `ServiceId` are dense `u32` indices assigned from
 //! zero by the app builders (`erms-core/src/ids.rs`), so every per-event
 //! `BTreeMap` lookup in the old engine was an O(log n) walk to find a slot
 //! a `Vec` index reaches directly. [`SimTables`] is built once per run
 //! from the [`Simulation`](crate::runtime::Simulation) configuration and
-//! the `App`, and holds everything immutable the event loop reads:
+//! the `App`, and is laid out structure-of-arrays by how often the event
+//! loop touches each field:
 //!
-//! * per-service arrival rates (one `f64` per `ServiceId`);
-//! * per-microservice thread counts, priority-class tables and
-//!   pre-parameterised service-time samplers.
+//! * [`HotTables`] — columns read on (nearly) every event: arrival rates,
+//!   per-container thread counts, pre-parameterised service-time samplers
+//!   and the flattened priority-class lookup. One field = one dense
+//!   array, so an `on_ready`/`on_done` touches only the cache lines of
+//!   the columns it actually reads instead of dragging a whole per-ms
+//!   row through the cache.
+//! * [`ServiceTable`] — the flattened dependency graphs, read once per
+//!   stage advance (warm, but bulky: kept as per-service rows so one
+//!   service's fan-out walks contiguous memory).
+//! * [`ColdTables`] — touched only at engine setup (queue construction)
+//!   or never on the event path.
 //!
 //! The lognormal service-time parameters (σ² = ln(1+CV²),
 //! μ = ln(mean) − σ²/2, and √σ²) are constants of a deployment, so
@@ -69,33 +79,56 @@ impl ServiceTimeSampler {
     }
 }
 
-/// Immutable per-microservice configuration, indexed by
-/// `MicroserviceId::index()`.
+/// Sentinel in [`HotTables::class_off`] for single-class microservices:
+/// every service is class 0 and no per-service row exists.
+const SINGLE_CLASS: u32 = u32::MAX;
+
+/// Per-event columns, one dense array per field (see the module docs).
+/// All indexed by `MicroserviceId::index()` except `rate_per_ms`
+/// (`ServiceId::index()`) and `class_of` (offset + `ServiceId::index()`).
 #[derive(Debug, Clone)]
-pub(crate) struct MsTable {
+pub(crate) struct HotTables {
+    /// Arrival rate per `ServiceId::index()`, requests per ms.
+    pub(crate) rate_per_ms: Vec<f64>,
     /// Threads per container.
-    pub(crate) threads: usize,
-    /// Number of priority classes (1 = FCFS / no priorities here).
-    pub(crate) n_classes: usize,
-    /// Priority class per `ServiceId::index()`; empty when `n_classes`
-    /// is 1 (every service is class 0). Services outside the priority
-    /// order fall in the catch-all lowest class `n_classes - 1`.
-    pub(crate) class_of: Vec<usize>,
-    /// Pre-parameterised service-time sampler at this deployment's
+    pub(crate) threads: Vec<u32>,
+    /// Pre-parameterised service-time sampler at each deployment's
     /// interference.
-    pub(crate) sampler: ServiceTimeSampler,
+    pub(crate) samplers: Vec<ServiceTimeSampler>,
+    /// Offset of each microservice's per-service class row in `class_of`,
+    /// or [`SINGLE_CLASS`].
+    class_off: Vec<u32>,
+    /// Flattened priority classes: rows of `service_count` entries, one
+    /// row per prioritised microservice.
+    class_of: Vec<u32>,
 }
 
-impl MsTable {
-    /// The priority class of a service at this microservice.
+impl HotTables {
+    /// Threads per container of microservice index `mi`.
     #[inline]
-    pub(crate) fn class(&self, service: ServiceId) -> usize {
-        if self.n_classes == 1 {
+    pub(crate) fn threads(&self, mi: usize) -> usize {
+        self.threads[mi] as usize
+    }
+
+    /// The priority class of a service at microservice index `mi`.
+    #[inline]
+    pub(crate) fn class(&self, mi: usize, service: ServiceId) -> usize {
+        let off = self.class_off[mi];
+        if off == SINGLE_CLASS {
             0
         } else {
-            self.class_of[service.index()]
+            self.class_of[off as usize + service.index()] as usize
         }
     }
+}
+
+/// Build/setup-time columns, indexed by `MicroserviceId::index()`. Never
+/// read inside the event loop: `n_classes` sizes each container's queue
+/// vector once when the engine lays out deployment state.
+#[derive(Debug, Clone)]
+pub(crate) struct ColdTables {
+    /// Number of priority classes (1 = FCFS / no priorities here).
+    pub(crate) n_classes: Vec<u32>,
 }
 
 /// Flattened per-service dependency-graph tables, indexed by
@@ -160,15 +193,16 @@ impl ServiceTable {
     }
 }
 
-/// All immutable lookup tables of one run, laid out densely by id index.
+/// All immutable lookup tables of one run, laid out densely by id index
+/// and grouped by access temperature (see the module docs).
 #[derive(Debug, Clone)]
 pub(crate) struct SimTables {
-    /// Arrival rate per `ServiceId::index()`, requests per ms.
-    pub(crate) rate_per_ms: Vec<f64>,
-    /// Per-microservice configuration by `MicroserviceId::index()`.
-    pub(crate) ms: Vec<MsTable>,
+    /// Per-event columns.
+    pub(crate) hot: HotTables,
     /// Flattened dependency graphs by `ServiceId::index()`.
     pub(crate) services: Vec<ServiceTable>,
+    /// Setup-only columns.
+    pub(crate) cold: ColdTables,
 }
 
 impl SimTables {
@@ -183,57 +217,66 @@ impl SimTables {
         for (sid, rate) in workloads.iter() {
             rate_per_ms[sid.index()] = rate.as_per_ms();
         }
-        let ms = sim
-            .app
-            .microservices()
-            .map(|(ms_id, _)| {
-                let (class_of, n_classes) = match (sim.config.scheduling, priorities.get(&ms_id)) {
-                    (Scheduling::Priority { .. }, Some(order)) if !order.is_empty() => {
-                        // +1 catch-all lowest class for services outside
-                        // the priority order.
-                        let n_classes = order.len() + 1;
-                        let mut class_of = vec![n_classes - 1; service_count];
-                        for (rank, &svc) in order.iter().enumerate() {
-                            // Ids outside the app (never matched by any
-                            // call) are ignored, as the map-based lookup
-                            // ignored them.
-                            if svc.index() < service_count {
-                                class_of[svc.index()] = rank;
-                            }
+        let ms_count = sim.app.microservice_count();
+        let mut threads = Vec::with_capacity(ms_count);
+        let mut samplers = Vec::with_capacity(ms_count);
+        let mut class_off = Vec::with_capacity(ms_count);
+        let mut class_of = Vec::new();
+        let mut n_classes = Vec::with_capacity(ms_count);
+        for (ms_id, _) in sim.app.microservices() {
+            match (sim.config.scheduling, priorities.get(&ms_id)) {
+                (Scheduling::Priority { .. }, Some(order)) if !order.is_empty() => {
+                    // +1 catch-all lowest class for services outside the
+                    // priority order.
+                    let classes = order.len() + 1;
+                    class_off.push(class_of.len() as u32);
+                    let row_start = class_of.len();
+                    class_of.resize(row_start + service_count, (classes - 1) as u32);
+                    for (rank, &svc) in order.iter().enumerate() {
+                        // Ids outside the app (never matched by any call)
+                        // are ignored, as the map-based lookup ignored
+                        // them.
+                        if svc.index() < service_count {
+                            class_of[row_start + svc.index()] = rank as u32;
                         }
-                        (class_of, n_classes)
                     }
-                    _ => (Vec::new(), 1),
-                };
-                let threads = sim
-                    .threads
+                    n_classes.push(classes as u32);
+                }
+                _ => {
+                    class_off.push(SINGLE_CLASS);
+                    n_classes.push(1);
+                }
+            }
+            threads.push(
+                sim.threads
                     .get(&ms_id)
                     .copied()
                     .unwrap_or(sim.config.default_threads)
-                    .max(1);
-                let model = sim.service_times.get(&ms_id).copied().unwrap_or_default();
-                let itf = sim
-                    .interference
-                    .get(&ms_id)
-                    .copied()
-                    .unwrap_or(sim.uniform_itf);
-                MsTable {
-                    threads,
-                    n_classes,
-                    class_of,
-                    sampler: ServiceTimeSampler::new(model, itf),
-                }
-            })
-            .collect();
+                    .max(1) as u32,
+            );
+            let model = sim.service_times.get(&ms_id).copied().unwrap_or_default();
+            let itf = sim
+                .interference
+                .get(&ms_id)
+                .copied()
+                .unwrap_or(sim.uniform_itf);
+            samplers.push(ServiceTimeSampler::new(model, itf));
+        }
         let services = sim
             .app
             .services()
             .map(|(_, svc)| ServiceTable::build(svc))
             .collect();
         Self {
-            rate_per_ms,
-            ms,
+            hot: HotTables {
+                rate_per_ms,
+                threads,
+                samplers,
+                class_off,
+                class_of,
+            },
             services,
+            cold: ColdTables { n_classes },
         }
     }
 }

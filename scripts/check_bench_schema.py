@@ -38,6 +38,20 @@ REQUIRED = {
         "replication.replications",
         "replication.speedup",
         "replication.bit_identical",
+        "queue_compare.ops",
+        "queue_compare.occupancy",
+        "queue_compare.dense.heap_wall_ms",
+        "queue_compare.dense.calendar_wall_ms",
+        "queue_compare.dense.speedup",
+        "queue_compare.dense.identical_pop_sequence",
+        "queue_compare.dense.batch_hist.1",
+        "queue_compare.dense.batch_hist.gt_8",
+        "queue_compare.sparse.heap_wall_ms",
+        "queue_compare.sparse.calendar_wall_ms",
+        "queue_compare.sparse.speedup",
+        "queue_compare.sparse.identical_pop_sequence",
+        "queue_compare.sparse.batch_hist.1",
+        "queue_compare.sparse.batch_hist.gt_8",
     ],
     "BENCH_sweep.json": ENV_KEYS + [
         "quick",

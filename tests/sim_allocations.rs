@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use erms::core::prelude::*;
 use erms::sim::runtime::{SimConfig, Simulation};
 use erms::sim::service_time::derive_from_profile;
+use erms::sim::FaultPlan;
 use erms::telemetry::{TelemetryCollector, TelemetryConfig};
 use erms::workload::apps::fig5_app;
 
@@ -51,18 +52,32 @@ static COUNTER: CountingAlloc = CountingAlloc;
 /// preallocated up front), so the count isolates the sink's per-event
 /// marginal cost.
 fn run_counted(duration_ms: f64, sampling: Option<f64>) -> (u64, u64) {
-    run_counted_inner(duration_ms, sampling, None)
+    run_counted_inner(duration_ms, sampling, None, false)
 }
 
 /// The sharded variant: same scenario through `run_sharded` at `shards`
 /// shards. Telemetry sinks are not attached (the shard engine takes one
 /// sink per shard; the merge cost is covered by erms-telemetry's tests).
 fn run_counted_sharded(duration_ms: f64, shards: usize) -> (u64, u64) {
-    run_counted_inner(duration_ms, None, Some(shards))
+    run_counted_inner(duration_ms, None, Some(shards), false)
 }
 
-fn run_counted_inner(duration_ms: f64, sampling: Option<f64>, shards: Option<usize>) -> (u64, u64) {
-    let (app, _, [s1, s2]) = fig5_app(300.0);
+/// The fault-churn variant: container crash, cold start and spot
+/// reclamation all inside the first 2 s (so short and long runs see the
+/// identical fault prefix), plus a 2% front-door drop rate for ongoing
+/// call-slot churn. Exercises the calendar queue's steady state under
+/// fault events and the call arena's free-list reuse.
+fn run_counted_faulted(duration_ms: f64) -> (u64, u64) {
+    run_counted_inner(duration_ms, None, None, true)
+}
+
+fn run_counted_inner(
+    duration_ms: f64,
+    sampling: Option<f64>,
+    shards: Option<usize>,
+    faults: bool,
+) -> (u64, u64) {
+    let (app, [u, h, _p], [s1, s2]) = fig5_app(300.0);
     let itf = Interference::new(0.3, 0.3);
     let mut w = WorkloadVector::new();
     w.set(s1, RequestRate::per_minute(20_000.0));
@@ -85,6 +100,15 @@ fn run_counted_inner(duration_ms: f64, sampling: Option<f64>, shards: Option<usi
         sim.set_threads(ms, threads);
     }
     sim.set_uniform_interference(itf);
+    if faults {
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .crash(u, 500.0, 1)
+                .cold_start(h, 1, 400.0)
+                .spot_reclamation(h, 1_000.0, 1, 300.0)
+                .with_drop_probability(0.02),
+        );
+    }
     let containers: BTreeMap<_, _> = app
         .microservices()
         .map(|(ms, _)| (ms, plan.containers(ms)))
@@ -194,5 +218,27 @@ fn event_loop_allocations_grow_sublinearly_with_events() {
         "sharded path must stay below 0.5 marginal allocs/event, got \
          {shard_marginal:.3} ({shard_allocs_short} allocs for {shard_events_short} \
          events vs {shard_allocs_long} allocs for {shard_events_long} events)"
+    );
+
+    // Calendar-queue steady state under fault churn: with the fault
+    // prefix (crash, cold start, spot reclamation) inside both windows
+    // and a 2% drop rate churning the call arena throughout, the extra
+    // 28 s of simulated time must cost essentially *zero* extra
+    // allocator calls per event. The queue's bottom run and bucket
+    // vectors reach their working capacity during the short window and
+    // are reused in place from then on; released call slots and popped
+    // entries recycle through free lists, never through the allocator.
+    // The loose 0.05 headroom covers the tail of Vec doublings
+    // (result vectors, bucket array rebuilds) — O(log events), not O(n).
+    let (churn_events_short, churn_allocs_short) = run_counted_faulted(4_000.0);
+    let (churn_events_long, churn_allocs_long) = run_counted_faulted(32_000.0);
+    let churn_marginal = (churn_allocs_long - churn_allocs_short) as f64
+        / (churn_events_long - churn_events_short) as f64;
+    assert!(
+        churn_marginal < 0.05,
+        "calendar queue must reach a zero-allocation steady state under \
+         fault churn: {churn_marginal:.4} marginal allocs/event \
+         ({churn_allocs_short} allocs for {churn_events_short} events vs \
+         {churn_allocs_long} allocs for {churn_events_long} events)"
     );
 }
