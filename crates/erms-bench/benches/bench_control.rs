@@ -1,0 +1,238 @@
+//! Control-plane service perf harness: what the HTTP layer costs on top
+//! of the planner core. Measures plan-query latency (p50/p99 over a
+//! keep-alive connection), span-ingestion throughput (requests/s and
+//! spans/s through parse → window → profiler), and snapshot save/restore
+//! wall time — then emits `BENCH_control.json`.
+//!
+//! Usage (as a `harness = false` bench target):
+//!
+//! ```text
+//! cargo bench -p erms-bench --bench bench_control            # full run
+//! cargo bench -p erms-bench --bench bench_control -- --quick # CI smoke
+//! cargo bench -p erms-bench --bench bench_control -- --out /tmp/b.json
+//! ```
+//!
+//! Before any number is written, the restored registry is driven through
+//! one more control round and its plan is asserted **byte-identical** to
+//! the uninterrupted daemon's — the snapshot guarantee the numbers are
+//! only meaningful under.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use erms_control::codec::{app_to_json, span_batch_to_json, SpanBatch};
+use erms_control::{snapshot, Client, ControlPlane, ControlPlaneConfig, Json, Registry};
+use erms_core::prelude::{MicroserviceId, RequestRate, ServiceId, WorkloadVector};
+use erms_sim::telemetry::SpanRecord;
+use erms_workload::apps::fig5_app;
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted_ms.len() as f64 * p).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+/// Deterministic span batch: `spans` spans spread over 1-second windows,
+/// eight per window per microservice so every window clears the
+/// profiler's `min_samples` bar and the full windowing path runs.
+fn batch(app: &erms_core::app::App, spans_per_batch: usize, salt: u64) -> SpanBatch {
+    let services: Vec<ServiceId> = app.services().map(|(sid, _)| sid).collect();
+    let micros: Vec<MicroserviceId> = app.microservices().map(|(ms, _)| ms).collect();
+    let spans = (0..spans_per_batch)
+        .map(|i| {
+            let i64f = i as f64;
+            let window = (i / (8 * micros.len())) as f64;
+            let start = window * 1_000.0 + (i64f * 13.7) % 990.0;
+            SpanRecord {
+                service: services[i % services.len()],
+                microservice: micros[i % micros.len()],
+                container: (i % 3) as u32,
+                priority_class: 0,
+                start_ms: start,
+                end_ms: start + 2.0 + ((i as u64).wrapping_mul(salt) % 97) as f64 * 0.31,
+            }
+        })
+        .collect();
+    SpanBatch {
+        sampling: 1.0,
+        containers: BTreeMap::new(),
+        spans,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_control.json".to_string());
+
+    let (plan_queries, ingest_batches, spans_per_batch, snap_reps) = if quick {
+        (300usize, 40usize, 1_000usize, 3usize)
+    } else {
+        (5_000usize, 400usize, 2_000usize, 9usize)
+    };
+    println!(
+        "bench_control: {plan_queries} plan queries, {ingest_batches} ingest batches x {spans_per_batch} spans, {snap_reps} snapshot reps{}",
+        if quick { ", quick mode" } else { "" }
+    );
+
+    let dir = std::env::temp_dir().join(format!("erms-bench-control-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap_path = dir.join("registry.json");
+
+    let config = ControlPlaneConfig {
+        workers: 4,
+        snapshot_path: Some(snap_path.clone()),
+        ..ControlPlaneConfig::default()
+    };
+    let plane = ControlPlane::start(config, Registry::paper_pool()).expect("start control plane");
+    let mut client = Client::new(plane.addr()).expect("connect");
+
+    // Seed one tenant over the wire and plan it.
+    let (app, _, [s1, s2]) = fig5_app(300.0);
+    let body = Json::obj(vec![("id", Json::str("bench")), ("app", app_to_json(&app))]).render();
+    let (status, _) = client
+        .request("POST", "/v1/tenants", Some(body.as_bytes()))
+        .expect("create tenant");
+    assert_eq!(status, 201);
+    plane.with_registry(|r| {
+        let t = r.get_mut("bench").expect("tenant");
+        let mut w = WorkloadVector::new();
+        w.set(s1, RequestRate::per_minute(30_000.0));
+        w.set(s2, RequestRate::per_minute(30_000.0));
+        t.workloads = w;
+    });
+    let (status, _) = client
+        .request("POST", "/v1/tenants/bench/replan", None)
+        .expect("replan");
+    assert_eq!(status, 200);
+
+    // --- Plan-query latency over one keep-alive connection. ---
+    let mut latencies_ms = Vec::with_capacity(plan_queries);
+    let started = Instant::now();
+    for _ in 0..plan_queries {
+        let t0 = Instant::now();
+        let (status, body) = client
+            .request("GET", "/v1/tenants/bench/plan", None)
+            .expect("plan query");
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200);
+        assert!(!body.is_empty());
+    }
+    let plan_wall_s = started.elapsed().as_secs_f64();
+    latencies_ms.sort_by(f64::total_cmp);
+    let p50 = percentile(&latencies_ms, 0.50);
+    let p99 = percentile(&latencies_ms, 0.99);
+    let plan_rps = plan_queries as f64 / plan_wall_s.max(1e-9);
+    println!("plan query: p50 {p50:.3} ms, p99 {p99:.3} ms, {plan_rps:.0} req/s");
+
+    // --- Span-ingestion throughput. ---
+    let bodies: Vec<String> = (0..ingest_batches)
+        .map(|i| span_batch_to_json(&batch(&app, spans_per_batch, 2 * i as u64 + 1)).render())
+        .collect();
+    let started = Instant::now();
+    for body in &bodies {
+        let (status, reply) = client
+            .request("POST", "/v1/tenants/bench/spans", Some(body.as_bytes()))
+            .expect("ingest");
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&reply));
+    }
+    let ingest_wall_s = started.elapsed().as_secs_f64();
+    let ingest_rps = ingest_batches as f64 / ingest_wall_s.max(1e-9);
+    let ingest_sps = (ingest_batches * spans_per_batch) as f64 / ingest_wall_s.max(1e-9);
+    println!(
+        "ingest: {ingest_batches} batches in {:.1} ms ({ingest_rps:.0} req/s, {ingest_sps:.0} spans/s)",
+        ingest_wall_s * 1e3
+    );
+
+    // --- Snapshot save/restore wall time. ---
+    let mut save_ms = f64::INFINITY;
+    let mut bytes = 0.0;
+    for _ in 0..snap_reps {
+        let t0 = Instant::now();
+        let (status, reply) = client
+            .request("POST", "/v1/snapshot", None)
+            .expect("snapshot");
+        save_ms = save_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200);
+        let reply = Json::parse(&String::from_utf8_lossy(&reply)).expect("snapshot reply");
+        bytes = reply.get("bytes").and_then(Json::as_f64).expect("bytes");
+    }
+    let mut load_ms = f64::INFINITY;
+    let mut restored = None;
+    for _ in 0..snap_reps {
+        let t0 = Instant::now();
+        let r = snapshot::load(&snap_path).expect("load snapshot");
+        load_ms = load_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        restored = Some(r);
+    }
+    let mut restored = restored.expect("at least one load");
+    println!(
+        "snapshot: {bytes:.0} bytes, save {save_ms:.2} ms (HTTP round-trip), load {load_ms:.2} ms"
+    );
+
+    // --- Bit-identity gate: continue both worlds one round. ---
+    let warm = plane.with_registry(|r| {
+        let t = r.get_mut("bench").expect("tenant");
+        t.replan();
+        erms_control::codec::plan_to_json(t.plan().expect("plan")).render()
+    });
+    let cold = {
+        let t = restored.get_mut("bench").expect("restored tenant");
+        t.replan();
+        erms_control::codec::plan_to_json(t.plan().expect("plan")).render()
+    };
+    let bit_identical = warm == cold;
+    assert!(
+        bit_identical,
+        "restored registry diverged from the live daemon"
+    );
+    println!("restored-warm continuation: bit-identical");
+
+    plane.stop();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let json = Json::obj(vec![
+        (
+            "env",
+            Json::parse(&erms_bench::env_json()).expect("env_json parses"),
+        ),
+        ("quick", Json::Bool(quick)),
+        (
+            "plan_query",
+            Json::obj(vec![
+                ("requests", Json::Num(plan_queries as f64)),
+                ("p50_ms", Json::Num(p50)),
+                ("p99_ms", Json::Num(p99)),
+                ("requests_per_sec", Json::Num(plan_rps)),
+            ]),
+        ),
+        (
+            "ingest",
+            Json::obj(vec![
+                ("batches", Json::Num(ingest_batches as f64)),
+                ("spans_per_batch", Json::Num(spans_per_batch as f64)),
+                ("requests_per_sec", Json::Num(ingest_rps)),
+                ("spans_per_sec", Json::Num(ingest_sps)),
+            ]),
+        ),
+        (
+            "snapshot",
+            Json::obj(vec![
+                ("bytes", Json::Num(bytes)),
+                ("save_wall_ms", Json::Num(save_ms)),
+                ("load_wall_ms", Json::Num(load_ms)),
+                ("bit_identical", Json::Bool(bit_identical)),
+            ]),
+        ),
+    ])
+    .render();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_control.json");
+    println!("wrote {out_path}");
+}

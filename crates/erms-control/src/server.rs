@@ -1,0 +1,558 @@
+//! The control-plane HTTP service: routing, drain/reload, metrics
+//! rendering.
+//!
+//! One mutex guards the whole [`Registry`]. That is a deliberate
+//! simplicity/raciness trade-off: every mutating endpoint is a
+//! read-modify-write over shared planner state, the critical sections are
+//! milliseconds (a full replan of the paper's app is sub-millisecond), and
+//! a single lock makes the bit-identity story trivial — request order is
+//! the only source of nondeterminism, and the tests fix it.
+//!
+//! Graceful reload: `POST /v1/reload` flips the draining flag (new
+//! requests get 503), waits until it is the only request in flight, swaps
+//! the registry for the one restored from the snapshot path, and lifts the
+//! flag. In-flight requests finish against the old registry; nothing is
+//! interrupted mid-plan.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use erms_telemetry::metrics::MetricsRegistry;
+
+use crate::codec::{app_from_json, plan_to_json, span_batch_from_json, workloads_from_json};
+use crate::http::{Handler, Request, Response, Server};
+use crate::json::Json;
+use crate::snapshot;
+use crate::tenant::{DecisionRecord, Registry, Tenant};
+
+/// Configuration of a control-plane instance.
+#[derive(Debug, Clone)]
+pub struct ControlPlaneConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Where `POST /v1/snapshot` writes and `POST /v1/reload` reads.
+    /// `None` disables both endpoints (they answer 400).
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            snapshot_path: None,
+        }
+    }
+}
+
+struct Shared {
+    registry: Mutex<Registry>,
+    draining: AtomicBool,
+    in_flight: AtomicU64,
+    requests: AtomicU64,
+    stop: AtomicBool,
+    snapshot_path: Option<PathBuf>,
+}
+
+/// A running control-plane service.
+pub struct ControlPlane {
+    server: Server,
+    shared: Arc<Shared>,
+}
+
+impl ControlPlane {
+    /// Starts the service over an existing registry (usually
+    /// [`Registry::paper_pool`] or a snapshot restore).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ControlPlaneConfig, registry: Registry) -> std::io::Result<Self> {
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(registry),
+            draining: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            snapshot_path: config.snapshot_path,
+        });
+        let routed = Arc::clone(&shared);
+        let handler: Handler = Arc::new(move |req: &Request| {
+            routed.requests.fetch_add(1, Ordering::SeqCst);
+            routed.in_flight.fetch_add(1, Ordering::SeqCst);
+            let response = route(&routed, req);
+            routed.in_flight.fetch_sub(1, Ordering::SeqCst);
+            response
+        });
+        let server = Server::bind(&config.addr, config.workers, handler)?;
+        Ok(Self { server, shared })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// Whether `POST /v1/shutdown` has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Runs until a shutdown request arrives, then stops the server
+    /// gracefully (in-flight requests finish). This is what `erms-cli
+    /// serve` blocks on.
+    pub fn wait(self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.server.shutdown();
+    }
+
+    /// Stops immediately (tests and benches).
+    pub fn stop(self) {
+        self.server.shutdown();
+    }
+
+    /// Direct access to the registry, bypassing HTTP — used by benches to
+    /// seed state without paying the wire cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned (a handler panicked).
+    pub fn with_registry<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> R {
+        let mut registry = self.shared.registry.lock().expect("registry poisoned");
+        f(&mut registry)
+    }
+}
+
+fn err_json(status: u16, message: &str) -> Response {
+    let body = Json::obj(vec![("error", Json::str(message))]).render();
+    Response::json(status, body)
+}
+
+fn ok_json(json: Json) -> Response {
+    Response::json(200, json.render())
+}
+
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    let segments = req.segments();
+    // The health probe and the reload endpoint must work while draining;
+    // everything else is refused so the drain can converge.
+    let draining_exempt = matches!(segments.as_slice(), ["healthz"] | ["v1", "reload"]);
+    if shared.draining.load(Ordering::SeqCst) && !draining_exempt {
+        return err_json(503, "draining: retry shortly");
+    }
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(shared),
+        ("GET", ["metrics"]) => metrics(shared),
+        ("GET", ["v1", "tenants"]) => list_tenants(shared),
+        ("POST", ["v1", "tenants"]) => create_tenant(shared, req),
+        ("GET", ["v1", "tenants", id]) => tenant_status(shared, id),
+        ("DELETE", ["v1", "tenants", id]) => delete_tenant(shared, id),
+        ("POST", ["v1", "tenants", id, "spans"]) => ingest_spans(shared, id, req),
+        ("POST", ["v1", "tenants", id, "workloads"]) => set_workloads(shared, id, req),
+        ("GET", ["v1", "tenants", id, "plan"]) => get_plan(shared, id),
+        ("POST", ["v1", "tenants", id, "replan"]) => replan(shared, id),
+        ("GET", ["v1", "tenants", id, "history"]) => history(shared, id),
+        ("POST", ["v1", "snapshot"]) => take_snapshot(shared),
+        ("POST", ["v1", "reload"]) => reload(shared),
+        ("POST", ["v1", "shutdown"]) => {
+            shared.stop.store(true, Ordering::SeqCst);
+            ok_json(Json::obj(vec![("stopping", Json::Bool(true))]))
+        }
+        (_, ["healthz" | "metrics"]) | (_, ["v1", ..]) => {
+            err_json(405, "method not allowed for this path")
+        }
+        _ => err_json(404, "no such route"),
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| err_json(400, "body must be UTF-8 JSON"))?;
+    Json::parse(text).map_err(|e| err_json(400, &format!("invalid JSON: {e}")))
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let tenants = shared.registry.lock().expect("registry poisoned").len();
+    ok_json(Json::obj(vec![
+        ("status", Json::str("ok")),
+        ("tenants", Json::Num(tenants as f64)),
+        (
+            "requests",
+            Json::Num(shared.requests.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "draining",
+            Json::Bool(shared.draining.load(Ordering::SeqCst)),
+        ),
+    ]))
+}
+
+fn sanitize_metric(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn metrics(shared: &Arc<Shared>) -> Response {
+    let mut out = String::new();
+    let mut registry = shared.registry.lock().expect("registry poisoned");
+    registry.pool_usage(); // refresh pool gauges before rendering
+    out.push_str(&format!(
+        "erms_control_requests_total {}\n",
+        shared.requests.load(Ordering::SeqCst)
+    ));
+    out.push_str(&format!("erms_control_tenants {}\n", registry.len()));
+    for (name, value) in registry.metrics.counters() {
+        out.push_str(&format!("erms_{} {value}\n", sanitize_metric(name)));
+    }
+    for (name, value) in registry.metrics.gauges() {
+        out.push_str(&format!("erms_{} {value}\n", sanitize_metric(name)));
+    }
+    for tenant in registry.tenants() {
+        let mut per_tenant = MetricsRegistry::new();
+        tenant.record_metrics(&mut per_tenant);
+        for (name, value) in per_tenant.counters() {
+            out.push_str(&format!(
+                "erms_{}{{tenant=\"{}\"}} {value}\n",
+                sanitize_metric(name),
+                tenant.id
+            ));
+        }
+        for (name, value) in per_tenant.gauges() {
+            out.push_str(&format!(
+                "erms_{}{{tenant=\"{}\"}} {value}\n",
+                sanitize_metric(name),
+                tenant.id
+            ));
+        }
+    }
+    Response::text(200, out)
+}
+
+fn tenant_summary(t: &Tenant) -> Json {
+    Json::obj(vec![
+        ("id", Json::str(&t.id)),
+        ("app", Json::str(t.app.name())),
+        (
+            "microservices",
+            Json::Num(t.app.microservice_count() as f64),
+        ),
+        ("services", Json::Num(t.app.service_count() as f64)),
+        ("rounds", Json::Num(t.history.len() as f64)),
+        ("spans_ingested", Json::Num(t.spans_ingested as f64)),
+        ("samples_ingested", Json::Num(t.samples_ingested as f64)),
+        ("has_plan", Json::Bool(t.plan().is_some())),
+        (
+            "plan_containers",
+            t.plan()
+                .map_or(Json::Null, |p| Json::Num(p.total_containers() as f64)),
+        ),
+    ])
+}
+
+fn list_tenants(shared: &Arc<Shared>) -> Response {
+    let registry = shared.registry.lock().expect("registry poisoned");
+    ok_json(Json::Arr(registry.tenants().map(tenant_summary).collect()))
+}
+
+fn create_tenant(shared: &Arc<Shared>, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(e) => return e,
+    };
+    let Some(id) = body.get("id").and_then(Json::as_str) else {
+        return err_json(400, "missing string field `id`");
+    };
+    let Some(app_json) = body.get("app") else {
+        return err_json(400, "missing field `app`");
+    };
+    let app = match app_from_json(app_json) {
+        Ok(app) => app,
+        Err(e) => return err_json(400, &e),
+    };
+    let id = id.to_string();
+    let mut registry = shared.registry.lock().expect("registry poisoned");
+    match registry.create(&id, app) {
+        Ok(tenant) => Response::json(201, tenant_summary(tenant).render()),
+        Err(e) => err_json(409, &e),
+    }
+}
+
+fn tenant_status(shared: &Arc<Shared>, id: &str) -> Response {
+    let registry = shared.registry.lock().expect("registry poisoned");
+    match registry.get(id) {
+        Some(t) => ok_json(tenant_summary(t)),
+        None => err_json(404, &format!("no tenant `{id}`")),
+    }
+}
+
+fn delete_tenant(shared: &Arc<Shared>, id: &str) -> Response {
+    let mut registry = shared.registry.lock().expect("registry poisoned");
+    if registry.remove(id) {
+        ok_json(Json::obj(vec![("deleted", Json::str(id))]))
+    } else {
+        err_json(404, &format!("no tenant `{id}`"))
+    }
+}
+
+fn ingest_spans(shared: &Arc<Shared>, id: &str, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(e) => return e,
+    };
+    let batch = match span_batch_from_json(&body) {
+        Ok(b) => b,
+        Err(e) => return err_json(400, &e),
+    };
+    let mut registry = shared.registry.lock().expect("registry poisoned");
+    let Some(tenant) = registry.get_mut(id) else {
+        return err_json(404, &format!("no tenant `{id}`"));
+    };
+    match tenant.ingest(&batch) {
+        Ok(added) => ok_json(Json::obj(vec![
+            ("spans", Json::Num(batch.spans.len() as f64)),
+            ("samples_added", Json::Num(added as f64)),
+        ])),
+        Err(e) => err_json(400, &e),
+    }
+}
+
+fn set_workloads(shared: &Arc<Shared>, id: &str, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(e) => return e,
+    };
+    let workloads = match workloads_from_json(&body) {
+        Ok(w) => w,
+        Err(e) => return err_json(400, &e),
+    };
+    let mut registry = shared.registry.lock().expect("registry poisoned");
+    let Some(tenant) = registry.get_mut(id) else {
+        return err_json(404, &format!("no tenant `{id}`"));
+    };
+    let count = workloads.iter().count();
+    tenant.workloads = workloads;
+    ok_json(Json::obj(vec![("services", Json::Num(count as f64))]))
+}
+
+fn get_plan(shared: &Arc<Shared>, id: &str) -> Response {
+    let registry = shared.registry.lock().expect("registry poisoned");
+    let Some(tenant) = registry.get(id) else {
+        return err_json(404, &format!("no tenant `{id}`"));
+    };
+    match tenant.plan() {
+        Some(plan) => ok_json(plan_to_json(plan)),
+        None => err_json(404, "no plan applied yet: run a replan first"),
+    }
+}
+
+fn record_to_json(r: &DecisionRecord) -> Json {
+    Json::obj(vec![
+        ("round", Json::Num(r.round as f64)),
+        ("scheme", Json::str(&r.scheme)),
+        ("total_containers", Json::Num(r.total_containers as f64)),
+        ("refitted", Json::Num(r.refitted as f64)),
+        (
+            "actions",
+            Json::Arr(r.actions.iter().map(Json::str).collect()),
+        ),
+        (
+            "errors",
+            Json::Arr(r.errors.iter().map(Json::str).collect()),
+        ),
+        ("degraded", Json::Bool(r.degraded)),
+        ("skipped", Json::Bool(r.skipped)),
+    ])
+}
+
+fn replan(shared: &Arc<Shared>, id: &str) -> Response {
+    let mut registry = shared.registry.lock().expect("registry poisoned");
+    let Some(tenant) = registry.get_mut(id) else {
+        return err_json(404, &format!("no tenant `{id}`"));
+    };
+    let record = tenant.replan().clone();
+    let plan = tenant.plan().map_or(Json::Null, crate::codec::plan_to_json);
+    ok_json(Json::obj(vec![
+        ("decision", record_to_json(&record)),
+        ("plan", plan),
+    ]))
+}
+
+fn history(shared: &Arc<Shared>, id: &str) -> Response {
+    let registry = shared.registry.lock().expect("registry poisoned");
+    match registry.get(id) {
+        Some(t) => ok_json(Json::Arr(t.history.iter().map(record_to_json).collect())),
+        None => err_json(404, &format!("no tenant `{id}`")),
+    }
+}
+
+fn take_snapshot(shared: &Arc<Shared>) -> Response {
+    let Some(path) = shared.snapshot_path.as_deref() else {
+        return err_json(400, "no snapshot path configured (start with --snapshot)");
+    };
+    let registry = shared.registry.lock().expect("registry poisoned");
+    match snapshot::save(&registry, path) {
+        Ok(bytes) => ok_json(Json::obj(vec![
+            ("bytes", Json::Num(bytes as f64)),
+            ("path", Json::str(path.to_string_lossy())),
+            ("tenants", Json::Num(registry.len() as f64)),
+        ])),
+        Err(e) => err_json(500, &format!("snapshot write failed: {e}")),
+    }
+}
+
+fn reload(shared: &Arc<Shared>) -> Response {
+    let Some(path) = shared.snapshot_path.as_deref() else {
+        return err_json(400, "no snapshot path configured (start with --snapshot)");
+    };
+    if shared
+        .draining
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return err_json(409, "a reload is already in progress");
+    }
+    // Drain: wait until this request is the only one in flight. New
+    // requests are already being refused with 503.
+    let mut spins = 0u32;
+    while shared.in_flight.load(Ordering::SeqCst) > 1 {
+        std::thread::sleep(Duration::from_millis(1));
+        spins += 1;
+        if spins > 30_000 {
+            shared.draining.store(false, Ordering::SeqCst);
+            return err_json(500, "drain timed out; reload aborted");
+        }
+    }
+    let result = snapshot::load(path);
+    let response = match result {
+        Ok(restored) => {
+            let tenants = restored.len();
+            *shared.registry.lock().expect("registry poisoned") = restored;
+            ok_json(Json::obj(vec![
+                ("reloaded", Json::Bool(true)),
+                ("tenants", Json::Num(tenants as f64)),
+            ]))
+        }
+        Err(e) => err_json(500, &format!("reload failed, old state kept: {e}")),
+    };
+    shared.draining.store(false, Ordering::SeqCst);
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::app_to_json;
+    use crate::http::Client;
+    use erms_core::app::{AppBuilder, Sla};
+    use erms_core::latency::LatencyProfile;
+    use erms_core::resources::Resources;
+
+    fn app_json() -> String {
+        let mut b = AppBuilder::new("demo");
+        let m = b.microservice(
+            "m",
+            LatencyProfile::kneed(0.002, 3.0, 0.02, 9000.0),
+            Resources::new(0.1, 200.0),
+        );
+        b.service("s", Sla::p95_ms(100.0), |g| {
+            g.entry(m);
+        });
+        let app = b.build().unwrap();
+        Json::obj(vec![("id", Json::str("demo")), ("app", app_to_json(&app))]).render()
+    }
+
+    #[test]
+    fn lifecycle_create_workload_replan_plan() {
+        let plane = ControlPlane::start(ControlPlaneConfig::default(), Registry::paper_pool())
+            .expect("start");
+        let mut client = Client::new(plane.addr()).unwrap();
+
+        let (status, _) = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+
+        let (status, _) = client
+            .request("POST", "/v1/tenants", Some(app_json().as_bytes()))
+            .unwrap();
+        assert_eq!(status, 201);
+
+        let (status, _) = client
+            .request(
+                "POST",
+                "/v1/tenants/demo/workloads",
+                Some(b"[[0, 30000.0]]"),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+
+        let (status, _) = client
+            .request("GET", "/v1/tenants/demo/plan", None)
+            .unwrap();
+        assert_eq!(status, 404, "no plan before the first replan");
+
+        let (status, body) = client
+            .request("POST", "/v1/tenants/demo/replan", None)
+            .unwrap();
+        assert_eq!(status, 200);
+        let body = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert!(body.get("plan").is_some());
+
+        let (status, body) = client
+            .request("GET", "/v1/tenants/demo/plan", None)
+            .unwrap();
+        assert_eq!(status, 200);
+        let plan = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(plan.get("scheme").and_then(Json::as_str), Some("erms"));
+
+        let (status, body) = client.request("GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).unwrap();
+        assert!(
+            text.contains("erms_planner_rounds{tenant=\"demo\"}"),
+            "{text}"
+        );
+
+        let (status, _) = client.request("DELETE", "/v1/tenants/demo", None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = client.request("GET", "/v1/tenants/demo", None).unwrap();
+        assert_eq!(status, 404);
+
+        plane.stop();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_refused() {
+        let plane = ControlPlane::start(ControlPlaneConfig::default(), Registry::paper_pool())
+            .expect("start");
+        let mut client = Client::new(plane.addr()).unwrap();
+        let (status, _) = client.request("GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.request("DELETE", "/healthz", None).unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = client
+            .request("POST", "/v1/tenants", Some(b"not json"))
+            .unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = client.request("POST", "/v1/snapshot", None).unwrap();
+        assert_eq!(status, 400, "no snapshot path configured");
+        plane.stop();
+    }
+
+    #[test]
+    fn shutdown_endpoint_flags_the_server() {
+        let plane = ControlPlane::start(ControlPlaneConfig::default(), Registry::paper_pool())
+            .expect("start");
+        let mut client = Client::new(plane.addr()).unwrap();
+        assert!(!plane.shutdown_requested());
+        let (status, _) = client.request("POST", "/v1/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(plane.shutdown_requested());
+        plane.wait();
+    }
+}

@@ -1,0 +1,423 @@
+//! The multi-tenant registry: many applications sharing one
+//! microservice pool, each with its own profiling → planning → fallback
+//! loop.
+//!
+//! # Tenant isolation
+//!
+//! Every tenant plans against its **own** [`ClusterState`] view,
+//! instantiated from the shared pool template. This is deliberate, not an
+//! approximation: `MicroserviceId`s are dense per-application indices, so
+//! two tenants' microservice 0 would collide in a shared host container
+//! map, and — more importantly — a shared state would let one tenant's
+//! placements shift another tenant's `average_interference` and therefore
+//! its plan *bits*. With per-tenant views, a tenant's plan is a pure
+//! function of its own telemetry and workloads; the registry still
+//! accounts for the **aggregate** pool usage across tenants and surfaces
+//! over-subscription as a gauge and a warning flag, without ever touching
+//! plan arithmetic. The snapshot-equivalence and isolation tests pin both
+//! properties.
+
+use std::collections::BTreeMap;
+
+use erms_core::app::{App, WorkloadVector};
+use erms_core::autoscaler::ScalingPlan;
+use erms_core::provisioning::{ClusterState, Host};
+use erms_core::resilience::{ResilienceConfig, ResilientManager};
+use erms_telemetry::metrics::{record_planner_metrics, record_resilience, MetricsRegistry};
+use erms_telemetry::online::OnlineProfiler;
+
+use crate::codec::SpanBatch;
+
+/// One entry of a tenant's scaling-decision history — the audit record the
+/// `GET /v1/tenants/{id}/history` endpoint serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Controller round the decision was made in (1-based).
+    pub round: u64,
+    /// Scheme name of the applied plan.
+    pub scheme: String,
+    /// Total containers the plan requested.
+    pub total_containers: u64,
+    /// How many microservice profiles were re-fitted before planning.
+    pub refitted: usize,
+    /// Fallback-ladder actions taken this round (debug-rendered).
+    pub actions: Vec<String>,
+    /// Errors absorbed by the ladder this round (rendered).
+    pub errors: Vec<String>,
+    /// Whether any fallback rung fired.
+    pub degraded: bool,
+    /// Whether the round was skipped outright (cluster left untouched).
+    pub skipped: bool,
+}
+
+/// One tenant: an application, its telemetry-driven profiler, its
+/// resilient planning loop, and its private view of the pool.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Tenant identifier (the `{id}` path segment).
+    pub id: String,
+    /// Current application model (swapped on refit).
+    pub app: App,
+    /// Online profiler accumulating windowed span observations.
+    pub profiler: OnlineProfiler,
+    /// The resilient planning loop.
+    pub manager: ResilientManager,
+    /// This tenant's view of the shared pool.
+    pub cluster: ClusterState,
+    /// Most recent per-service request rates.
+    pub workloads: WorkloadVector,
+    /// Scaling-decision audit trail, oldest first.
+    pub history: Vec<DecisionRecord>,
+    /// Raw spans accepted over the API.
+    pub spans_ingested: u64,
+    /// Windowed samples actually added to the profiler.
+    pub samples_ingested: u64,
+}
+
+impl Tenant {
+    /// Creates a tenant planning against a fresh pool view.
+    pub fn new(id: impl Into<String>, app: App, pool: &[Host]) -> Self {
+        Self {
+            id: id.into(),
+            app,
+            profiler: OnlineProfiler::new(),
+            manager: ResilientManager::new(ResilienceConfig::default()),
+            cluster: ClusterState::new(pool.to_vec()),
+            workloads: WorkloadVector::new(),
+            history: Vec::new(),
+            spans_ingested: 0,
+            samples_ingested: 0,
+        }
+    }
+
+    /// The last applied plan, if any round has produced one.
+    pub fn plan(&self) -> Option<&ScalingPlan> {
+        self.manager.last_applied()
+    }
+
+    /// Ingests one span batch into the profiler. When the batch does not
+    /// carry its own deployment map, the containers of the last applied
+    /// plan are used (the common steady-state case: the DES runs the plan
+    /// the control plane just produced).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a batch with no usable deployment (no containers in the
+    /// batch and no plan applied yet) — γ would be undefined.
+    pub fn ingest(&mut self, batch: &SpanBatch) -> Result<usize, String> {
+        let containers: BTreeMap<_, _> = if batch.containers.is_empty() {
+            match self.plan() {
+                Some(plan) => plan.iter().collect(),
+                None => return Err(
+                    "no deployment known: send `containers` with the batch or apply a plan first"
+                        .into(),
+                ),
+            }
+        } else {
+            batch.containers.clone()
+        };
+        let itf = self.cluster.average_interference(&self.app);
+        let added =
+            self.profiler
+                .ingest_spans(batch.spans.iter(), &containers, itf, batch.sampling);
+        self.spans_ingested += batch.spans.len() as u64;
+        self.samples_ingested += added as u64;
+        Ok(added)
+    }
+
+    /// Runs one control round: re-fit profiles from accumulated telemetry,
+    /// swap the refreshed application model in, then plan/apply through
+    /// the resilience ladder. Returns the history record of the round.
+    ///
+    /// The refit → swap happens *unconditionally* (the outcome app equals
+    /// the old one bit-for-bit when nothing was re-fitted), so a restored
+    /// tenant replaying this method from snapshotted samples walks exactly
+    /// the same app sequence as the uninterrupted process.
+    pub fn replan(&mut self) -> &DecisionRecord {
+        let refit = self.profiler.refit(&self.app);
+        let refitted = refit.refitted.len();
+        self.app = refit.app;
+        let outcome = self
+            .manager
+            .run_round(&self.app, &mut self.cluster, &self.workloads);
+        let (scheme, total_containers) = match &outcome.plan {
+            Some(plan) => (plan.scheme.clone(), plan.total_containers()),
+            None => ("none".to_string(), 0),
+        };
+        let record = DecisionRecord {
+            round: outcome.report.round,
+            scheme,
+            total_containers,
+            refitted,
+            actions: outcome
+                .report
+                .actions
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect(),
+            errors: outcome
+                .report
+                .errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect(),
+            degraded: outcome.report.degraded(),
+            skipped: outcome.report.skipped(),
+        };
+        self.history.push(record);
+        self.history.last().expect("just pushed")
+    }
+
+    /// Mirrors this tenant's planner/resilience counters into a metrics
+    /// registry (standard `planner.*` / `resilience.*` names; the server
+    /// adds the tenant label when rendering).
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry) {
+        record_planner_metrics(
+            registry,
+            &self.manager.planner_metrics(),
+            Some(self.manager.plan_cache()),
+        );
+        record_resilience(registry, self.manager.history());
+        registry.set_counter("control.spans_ingested", self.spans_ingested);
+        registry.set_counter("control.samples_ingested", self.samples_ingested);
+        registry.set_gauge(
+            "control.plan_containers",
+            self.plan().map_or(0.0, |p| p.total_containers() as f64),
+        );
+        registry.set_gauge(
+            "control.cluster_containers",
+            self.cluster.total_containers() as f64,
+        );
+    }
+}
+
+/// Aggregate pool accounting across tenants. Purely observational: the
+/// planner never sees these numbers, so they cannot perturb plan bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolUsage {
+    /// CPU cores requested by all tenants' current plans together.
+    pub requested_cpu: f64,
+    /// Memory (MB) requested by all tenants' current plans together.
+    pub requested_mem: f64,
+    /// CPU capacity of the shared pool.
+    pub capacity_cpu: f64,
+    /// Memory capacity of the shared pool.
+    pub capacity_mem: f64,
+}
+
+impl PoolUsage {
+    /// Whether the tenants together over-subscribe the physical pool.
+    pub fn oversubscribed(&self) -> bool {
+        self.requested_cpu > self.capacity_cpu || self.requested_mem > self.capacity_mem
+    }
+}
+
+/// The tenant registry: the single mutable root the HTTP server guards
+/// with one lock.
+#[derive(Debug)]
+pub struct Registry {
+    pool: Vec<Host>,
+    tenants: BTreeMap<String, Tenant>,
+    /// Control-plane-level counters (request totals, pool gauges).
+    pub metrics: MetricsRegistry,
+}
+
+impl Registry {
+    /// Creates a registry over a pool template. Every tenant created later
+    /// receives a fresh view of exactly these hosts.
+    pub fn new(pool: Vec<Host>) -> Self {
+        Self {
+            pool,
+            tenants: BTreeMap::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A registry over the paper's 20-host cluster (§6.1).
+    pub fn paper_pool() -> Self {
+        let mut hosts = Vec::with_capacity(20);
+        for _ in 0..20 {
+            hosts.push(Host::paper_host());
+        }
+        Self::new(hosts)
+    }
+
+    /// The pool template.
+    pub fn pool(&self) -> &[Host] {
+        &self.pool
+    }
+
+    /// Registers a tenant.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an id that is already registered or empty.
+    pub fn create(&mut self, id: &str, app: App) -> Result<&mut Tenant, String> {
+        if id.is_empty() {
+            return Err("tenant id must be non-empty".into());
+        }
+        if self.tenants.contains_key(id) {
+            return Err(format!("tenant `{id}` already exists"));
+        }
+        let tenant = Tenant::new(id, app, &self.pool);
+        Ok(self.tenants.entry(id.to_string()).or_insert(tenant))
+    }
+
+    /// Inserts an already-built tenant (snapshot restore path). Replaces
+    /// any existing tenant with the same id.
+    pub fn insert(&mut self, tenant: Tenant) {
+        self.tenants.insert(tenant.id.clone(), tenant);
+    }
+
+    /// Removes a tenant, returning whether it existed.
+    pub fn remove(&mut self, id: &str) -> bool {
+        self.tenants.remove(id).is_some()
+    }
+
+    /// Looks a tenant up.
+    pub fn get(&self, id: &str) -> Option<&Tenant> {
+        self.tenants.get(id)
+    }
+
+    /// Looks a tenant up mutably.
+    pub fn get_mut(&mut self, id: &str) -> Option<&mut Tenant> {
+        self.tenants.get_mut(id)
+    }
+
+    /// All tenants in id order.
+    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> + '_ {
+        self.tenants.values()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Sums requested resources across all tenants' applied plans against
+    /// the physical pool capacity, and mirrors the result into the
+    /// control-plane metrics (`pool.*` gauges plus an `oversubscribed`
+    /// 0/1 gauge). Called by the server after every mutation.
+    pub fn pool_usage(&mut self) -> PoolUsage {
+        let capacity_cpu: f64 = self.pool.iter().map(|h| h.cpu_capacity).sum();
+        let capacity_mem: f64 = self.pool.iter().map(|h| h.mem_capacity).sum();
+        let mut requested_cpu = 0.0;
+        let mut requested_mem = 0.0;
+        for tenant in self.tenants.values() {
+            if let Some(plan) = tenant.plan() {
+                for (ms, count) in plan.iter() {
+                    if let Ok(micro) = tenant.app.microservice(ms) {
+                        requested_cpu += micro.resources.cpu * f64::from(count);
+                        requested_mem += micro.resources.memory_mb * f64::from(count);
+                    }
+                }
+            }
+        }
+        let usage = PoolUsage {
+            requested_cpu,
+            requested_mem,
+            capacity_cpu,
+            capacity_mem,
+        };
+        self.metrics
+            .set_gauge("pool.requested_cpu_cores", requested_cpu);
+        self.metrics
+            .set_gauge("pool.requested_mem_mb", requested_mem);
+        self.metrics
+            .set_gauge("pool.capacity_cpu_cores", capacity_cpu);
+        self.metrics.set_gauge("pool.capacity_mem_mb", capacity_mem);
+        self.metrics.set_gauge(
+            "pool.oversubscribed",
+            if usage.oversubscribed() { 1.0 } else { 0.0 },
+        );
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erms_core::app::{AppBuilder, RequestRate, Sla};
+    use erms_core::latency::LatencyProfile;
+    use erms_core::resources::Resources;
+
+    fn tiny_app(name: &str) -> App {
+        let mut b = AppBuilder::new(name);
+        let m = b.microservice(
+            "m",
+            LatencyProfile::kneed(0.002, 3.0, 0.02, 9000.0),
+            Resources::new(0.1, 200.0),
+        );
+        b.service("s", Sla::p95_ms(100.0), |g| {
+            g.entry(m);
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tenants_are_isolated_views_of_one_pool() {
+        let mut registry = Registry::paper_pool();
+        registry.create("a", tiny_app("a")).unwrap();
+        registry.create("b", tiny_app("b")).unwrap();
+        assert!(registry.create("a", tiny_app("a2")).is_err());
+
+        let rate = RequestRate::per_minute(30_000.0);
+        for id in ["a", "b"] {
+            let t = registry.get_mut(id).unwrap();
+            t.workloads = WorkloadVector::uniform(&t.app, rate);
+            let record = t.replan();
+            assert!(!record.skipped, "{id}: {record:?}");
+        }
+        // Solo run of the same app against a fresh registry must produce
+        // the same plan bits: tenants cannot interfere.
+        let mut solo = Registry::paper_pool();
+        solo.create("a", tiny_app("a")).unwrap();
+        let t = solo.get_mut("a").unwrap();
+        t.workloads = WorkloadVector::uniform(&t.app, rate);
+        t.replan();
+        assert_eq!(
+            solo.get("a").unwrap().plan(),
+            registry.get("a").unwrap().plan()
+        );
+    }
+
+    #[test]
+    fn ingest_requires_a_known_deployment() {
+        let mut registry = Registry::paper_pool();
+        registry.create("a", tiny_app("a")).unwrap();
+        let tenant = registry.get_mut("a").unwrap();
+        let batch = SpanBatch {
+            sampling: 1.0,
+            containers: BTreeMap::new(),
+            spans: Vec::new(),
+        };
+        assert!(tenant.ingest(&batch).is_err());
+    }
+
+    #[test]
+    fn pool_usage_flags_oversubscription() {
+        // Plan against the full paper pool, then re-home the tenant into
+        // a registry whose pool template is one tiny host: the requested
+        // resources now exceed capacity and the flag must trip.
+        let mut registry = Registry::paper_pool();
+        registry.create("a", tiny_app("a")).unwrap();
+        let t = registry.get_mut("a").unwrap();
+        t.workloads = WorkloadVector::uniform(&t.app, RequestRate::per_minute(60_000.0));
+        t.replan();
+        assert!(registry.pool_usage().requested_cpu > 0.0);
+        assert!(!registry.pool_usage().oversubscribed());
+
+        let mut cramped = Registry::new(vec![Host::new(0.05, 10.0)]);
+        let filler = Tenant::new("x", tiny_app("x"), registry.pool());
+        let tenant = std::mem::replace(registry.get_mut("a").unwrap(), filler);
+        cramped.insert(tenant);
+        let usage = cramped.pool_usage();
+        assert!(usage.oversubscribed());
+        assert_eq!(cramped.metrics.gauge("pool.oversubscribed"), Some(1.0));
+    }
+}

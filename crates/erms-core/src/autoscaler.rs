@@ -145,6 +145,13 @@ impl ScalingPlan {
         self.service_plans.get(&service)
     }
 
+    /// Iterates over every recorded per-service plan in service-id order
+    /// (used by snapshot export; the set may be empty for baseline
+    /// schemes that do not compute latency targets).
+    pub fn service_plans(&self) -> impl Iterator<Item = &ServicePlan> + '_ {
+        self.service_plans.values()
+    }
+
     /// Mutable access to a per-service plan (used by the incremental
     /// planner to update stored plans in place).
     pub fn service_plan_mut(&mut self, service: ServiceId) -> Option<&mut ServicePlan> {

@@ -230,6 +230,67 @@ impl DependencyGraph {
         hash
     }
 
+    /// Reassembles a graph from externally stored parts (the inverse of
+    /// [`iter`](Self::iter) + [`root`](Self::root)), validating the tree
+    /// shape a [`GraphBuilder`] guarantees by construction: every child id
+    /// in bounds, the root reachable to every node, and each node having
+    /// exactly one parent. Used by snapshot/restore codecs that persist
+    /// graphs outside the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn from_parts(nodes: Vec<Node>, root: NodeId) -> Result<Self, String> {
+        if nodes.is_empty() {
+            return Err("graph has no nodes".to_string());
+        }
+        if root.index() >= nodes.len() {
+            return Err(format!(
+                "root {root} out of bounds for {} nodes",
+                nodes.len()
+            ));
+        }
+        let mut parents = vec![0usize; nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            for child in node.children() {
+                if child.index() >= nodes.len() {
+                    return Err(format!("node {i} references out-of-bounds child {child}"));
+                }
+                if child.index() == root.index() {
+                    return Err(format!("root {root} appears as a child of node {i}"));
+                }
+                parents[child.index()] += 1;
+                if parents[child.index()] > 1 {
+                    return Err(format!("node {child} has more than one parent"));
+                }
+            }
+        }
+        // Parent counts alone admit a cycle disconnected from the root
+        // (each cycle member has exactly one parent — inside the cycle), so
+        // walk from the root and require full coverage. The walk terminates
+        // because a cycle *reachable* from the root would need a node with
+        // two parents, which was rejected above.
+        let mut visited = vec![false; nodes.len()];
+        let mut stack = vec![root.index()];
+        let mut seen = 0usize;
+        while let Some(i) = stack.pop() {
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            seen += 1;
+            stack.extend(nodes[i].children().map(|c| c.index()));
+        }
+        if seen != nodes.len() {
+            return Err(format!(
+                "{} of {} nodes unreachable from the root",
+                nodes.len() - seen,
+                nodes.len()
+            ));
+        }
+        Ok(Self { nodes, root })
+    }
+
     /// Total calls per service request reaching microservice `ms`
     /// (the sum of effective multiplicities of nodes that reference it).
     pub fn calls_per_request(&self, ms: MicroserviceId) -> f64 {
@@ -424,6 +485,49 @@ mod tests {
         let mut g = GraphBuilder::new();
         g.entry(ms(0));
         g.entry(ms(1));
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_graph() {
+        let (g, _) = fig7();
+        let nodes: Vec<Node> = g.iter().map(|(_, n)| n.clone()).collect();
+        let rebuilt = DependencyGraph::from_parts(nodes, g.root()).unwrap();
+        assert_eq!(rebuilt, g);
+        assert_eq!(rebuilt.content_hash(), g.content_hash());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_shapes() {
+        let leaf = |m: u32| Node {
+            microservice: ms(m),
+            multiplicity: 1.0,
+            stages: Vec::new(),
+        };
+        let with_children = |m: u32, stages: Vec<Vec<NodeId>>| Node {
+            microservice: ms(m),
+            multiplicity: 1.0,
+            stages,
+        };
+        // Empty and out-of-bounds root.
+        assert!(DependencyGraph::from_parts(Vec::new(), NodeId::new(0)).is_err());
+        assert!(DependencyGraph::from_parts(vec![leaf(0)], NodeId::new(1)).is_err());
+        // Out-of-bounds child.
+        let dangling = with_children(0, vec![vec![NodeId::new(7)]]);
+        assert!(DependencyGraph::from_parts(vec![dangling], NodeId::new(0)).is_err());
+        // Two parents for one node.
+        let shared = with_children(0, vec![vec![NodeId::new(1)], vec![NodeId::new(1)]]);
+        assert!(DependencyGraph::from_parts(vec![shared, leaf(1)], NodeId::new(0)).is_err());
+        // Root as a child (cycle through the root).
+        let back = with_children(0, vec![vec![NodeId::new(1)]]);
+        let cyclic = with_children(1, vec![vec![NodeId::new(0)]]);
+        assert!(DependencyGraph::from_parts(vec![back, cyclic], NodeId::new(0)).is_err());
+        // A two-cycle disconnected from the root: every non-root node has
+        // exactly one parent, so only the reachability walk catches it.
+        let island_a = with_children(1, vec![vec![NodeId::new(2)]]);
+        let island_b = with_children(2, vec![vec![NodeId::new(1)]]);
+        assert!(
+            DependencyGraph::from_parts(vec![leaf(0), island_a, island_b], NodeId::new(0)).is_err()
+        );
     }
 
     #[test]

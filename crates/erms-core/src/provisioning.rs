@@ -164,6 +164,39 @@ impl Host {
         }
     }
 
+    /// Current placements on this host, in microservice-id order — the
+    /// export half of snapshot/restore for out-of-process persistence.
+    pub fn placements(&self) -> impl Iterator<Item = (MicroserviceId, u32)> + '_ {
+        self.containers.iter().map(|(&ms, &count)| (ms, count))
+    }
+
+    /// Per-microservice vertical-resize factors in effect on this host
+    /// (factors indistinguishable from 1.0 are never stored, so every
+    /// yielded entry is a real squeeze).
+    pub fn resize_factors(&self) -> impl Iterator<Item = (MicroserviceId, f64)> + '_ {
+        self.resize
+            .iter()
+            .map(|(&ms, &bits)| (ms, f64::from_bits(bits)))
+    }
+
+    /// Restores the mutable placement state captured by
+    /// [`placements`](Self::placements) and
+    /// [`resize_factors`](Self::resize_factors). The maps are taken
+    /// verbatim — no re-normalisation — so restore ∘ export is the
+    /// identity down to f64 bit patterns, which snapshot-driven warm
+    /// re-plans rely on.
+    pub fn restore_placements(
+        &mut self,
+        containers: impl IntoIterator<Item = (MicroserviceId, u32)>,
+        resize: impl IntoIterator<Item = (MicroserviceId, f64)>,
+    ) {
+        self.containers = containers.into_iter().collect();
+        self.resize = resize
+            .into_iter()
+            .map(|(ms, factor)| (ms, factor.to_bits()))
+            .collect();
+    }
+
     /// Containers of `ms` currently on this host.
     pub fn containers_of(&self, ms: MicroserviceId) -> u32 {
         self.containers.get(&ms).copied().unwrap_or(0)
@@ -312,6 +345,28 @@ impl ClusterState {
         } else {
             self.average_interference(app)
         }
+    }
+
+    /// Cluster-wide vertical-resize factors (the values mirrored onto every
+    /// host), for snapshot export.
+    pub fn resize_factors(&self) -> impl Iterator<Item = (MicroserviceId, f64)> + '_ {
+        self.resize
+            .iter()
+            .map(|(&ms, &bits)| (ms, f64::from_bits(bits)))
+    }
+
+    /// Restores cluster-wide vertical-resize factors captured by
+    /// [`resize_factors`](Self::resize_factors), verbatim (no
+    /// re-normalisation) — the hosts' own per-host factors are restored
+    /// separately via [`Host::restore_placements`].
+    pub fn restore_resize_factors(
+        &mut self,
+        factors: impl IntoIterator<Item = (MicroserviceId, f64)>,
+    ) {
+        self.resize = factors
+            .into_iter()
+            .map(|(ms, factor)| (ms, factor.to_bits()))
+            .collect();
     }
 
     /// Appends a host to the cluster (e.g. a replacement after a failure).

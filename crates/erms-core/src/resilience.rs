@@ -238,6 +238,27 @@ impl ResilientOutcome {
     }
 }
 
+/// Portable snapshot of a [`ResilientManager`]'s decision-shaping state,
+/// produced by [`ResilientManager::export_state`] and consumed by
+/// [`ResilientManager::restore_state`]. Everything in here feeds future
+/// rounds: the round counter drives staleness/cooldown arithmetic, the
+/// last applied plan is the hysteresis baseline, the last-known-good plan
+/// backs the stale-plan rung, and the direction map backs the cooldown
+/// rung.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ManagerState {
+    /// Rounds run so far (the next round is `round + 1`).
+    pub round: u64,
+    /// The last plan that was successfully applied.
+    pub last_applied: Option<ScalingPlan>,
+    /// The last freshly planned (not stale-substituted) applied plan and
+    /// the round it was planned in.
+    pub last_good: Option<(ScalingPlan, u64)>,
+    /// Per-microservice last rescaling: (+1 up / −1 down, round it
+    /// happened).
+    pub directions: BTreeMap<MicroserviceId, (i8, u64)>,
+}
+
 /// The self-healing wrapper around the Erms controller round.
 ///
 /// Unlike [`ErmsManager`](crate::manager::ErmsManager), which borrows one
@@ -328,6 +349,34 @@ impl ResilientManager {
     /// The last plan that was successfully applied, if any.
     pub fn last_applied(&self) -> Option<&ScalingPlan> {
         self.last_applied.as_ref()
+    }
+
+    /// Exports the mutable controller state that shapes *future* rounds —
+    /// the round counter, the hysteresis baseline (last applied plan and
+    /// rescaling directions) and the last-known-good fallback plan — so a
+    /// restarted process can resume with bit-identical decisions. The audit
+    /// history is deliberately excluded (it never feeds back into
+    /// decisions), and so is the incremental planner's carried state: a
+    /// restored manager replans cold on its first round, which the
+    /// planner's own invariant guarantees is bit-identical to the warm
+    /// re-plan the uninterrupted manager would have produced.
+    pub fn export_state(&self) -> ManagerState {
+        ManagerState {
+            round: self.round,
+            last_applied: self.last_applied.clone(),
+            last_good: self.last_good.clone(),
+            directions: self.directions.clone(),
+        }
+    }
+
+    /// Restores state captured by [`export_state`](Self::export_state),
+    /// dropping any carried planner state so the next round plans cold.
+    pub fn restore_state(&mut self, state: ManagerState) {
+        self.round = state.round;
+        self.last_applied = state.last_applied;
+        self.last_good = state.last_good;
+        self.directions = state.directions;
+        self.planner.invalidate();
     }
 
     /// Runs one resilient controller round. Never panics and never returns
@@ -1004,6 +1053,36 @@ mod tests {
         let (gone, lost) = state.execute_due_reclamations(4);
         assert_eq!(gone, 1);
         assert!(lost > 0, "unevacuated containers are lost");
+    }
+
+    #[test]
+    fn exported_state_resumes_bit_identically() {
+        let app = two_service_app(300.0, 300.0);
+        let mut state = ClusterState::paper_cluster();
+        let mut mgr = ResilientManager::new(ResilienceConfig::default());
+        let low = workloads(&app, 10_000.0);
+        let high = workloads(&app, 60_000.0);
+        mgr.run_round(&app, &mut state, &low);
+        mgr.run_round(&app, &mut state, &high);
+
+        // Fork: the uninterrupted manager vs a fresh one restored from the
+        // export. The very next round scales back down, which exercises the
+        // cooldown rung — state that only survives through the export.
+        let snapshot = mgr.export_state();
+        let mut restored = ResilientManager::new(ResilienceConfig::default());
+        restored.restore_state(snapshot.clone());
+        assert_eq!(restored.export_state(), snapshot);
+
+        let mut cluster_b = state.clone();
+        let a = mgr.run_round(&app, &mut state, &low);
+        let b = restored.run_round(&app, &mut cluster_b, &low);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.report.actions, b.report.actions);
+        assert!(a
+            .report
+            .actions
+            .iter()
+            .any(|x| matches!(x, FallbackAction::CooldownHold { .. })));
     }
 
     #[test]

@@ -104,6 +104,75 @@ impl TelemetrySink for NullSink {
     fn on_request(&mut self, _request: &RequestRecord) {}
 }
 
+/// A sink built from closures — the streaming adapter for callers that
+/// forward records somewhere else (a batch buffer, a network client)
+/// instead of accumulating them in a collector. The closures must follow
+/// the sink determinism contract: no wall clocks, no global RNGs.
+///
+/// ```
+/// use erms_sim::telemetry::{FnSink, SpanRecord, TelemetrySink};
+///
+/// let mut spans = Vec::new();
+/// {
+///     let mut sink = FnSink::new(|s: &SpanRecord| spans.push(*s), |_| {});
+///     # let record = SpanRecord {
+///     #     service: erms_core::ids::ServiceId::new(0),
+///     #     microservice: erms_core::ids::MicroserviceId::new(0),
+///     #     container: 0, priority_class: 0, start_ms: 0.0, end_ms: 1.0,
+///     # };
+///     sink.on_span(&record);
+/// }
+/// assert_eq!(spans.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FnSink<F, G>
+where
+    F: FnMut(&SpanRecord),
+    G: FnMut(&RequestRecord),
+{
+    span: F,
+    request: G,
+}
+
+impl<F, G> FnSink<F, G>
+where
+    F: FnMut(&SpanRecord),
+    G: FnMut(&RequestRecord),
+{
+    /// Creates a sink forwarding spans to `span` and end-to-end request
+    /// completions to `request`.
+    pub fn new(span: F, request: G) -> Self {
+        Self { span, request }
+    }
+}
+
+impl<F: FnMut(&SpanRecord)> FnSink<F, fn(&RequestRecord)> {
+    /// Creates a sink that observes only spans, dropping request records
+    /// — the common shape for feeding an online profiler.
+    pub fn spans(span: F) -> Self {
+        Self {
+            span,
+            request: |_| {},
+        }
+    }
+}
+
+impl<F, G> TelemetrySink for FnSink<F, G>
+where
+    F: FnMut(&SpanRecord),
+    G: FnMut(&RequestRecord),
+{
+    #[inline]
+    fn on_span(&mut self, span: &SpanRecord) {
+        (self.span)(span);
+    }
+
+    #[inline]
+    fn on_request(&mut self, request: &RequestRecord) {
+        (self.request)(request);
+    }
+}
+
 /// Forwarding impl so callers can pass `&mut sink` without giving up
 /// ownership (e.g. to inspect the sink after the run).
 impl<S: TelemetrySink> TelemetrySink for &mut S {

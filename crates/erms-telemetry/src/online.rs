@@ -210,13 +210,26 @@ impl OnlineProfiler {
         containers: &BTreeMap<MicroserviceId, u32>,
         itf: Interference,
     ) -> usize {
-        let windowed = window_samples(
+        self.ingest_spans(
             collector.spans(),
             containers,
             itf,
             collector.config().sampling,
-            &self.window,
-        );
+        )
+    }
+
+    /// Windows raw spans — already detached from any collector, e.g.
+    /// shipped over the network by a remote client — and appends the
+    /// resulting observations. `sampling` is the rate the spans were
+    /// sampled at. Returns how many samples were added.
+    pub fn ingest_spans<'a>(
+        &mut self,
+        spans: impl IntoIterator<Item = &'a SpanRecord>,
+        containers: &BTreeMap<MicroserviceId, u32>,
+        itf: Interference,
+        sampling: f64,
+    ) -> usize {
+        let windowed = window_samples(spans, containers, itf, sampling, &self.window);
         let mut added = 0;
         for (ms, samples) in windowed {
             added += samples.len();
@@ -228,6 +241,19 @@ impl OnlineProfiler {
             }
         }
         added
+    }
+
+    /// The retained per-microservice observations, for snapshot export.
+    #[must_use]
+    pub fn samples(&self) -> &BTreeMap<MicroserviceId, Vec<Sample>> {
+        &self.samples
+    }
+
+    /// Restores observations captured by [`samples`](Self::samples),
+    /// verbatim — no windowing, capping or re-ordering — so a restored
+    /// profiler refits bit-identically to the one that was exported.
+    pub fn restore_samples(&mut self, samples: BTreeMap<MicroserviceId, Vec<Sample>>) {
+        self.samples = samples;
     }
 
     /// Observations currently retained for one microservice.

@@ -74,6 +74,21 @@ REQUIRED = {
         "sketch.inserts_per_sec",
         "sketch.merges_per_sec",
     ],
+    "BENCH_control.json": ENV_KEYS + [
+        "quick",
+        "plan_query.requests",
+        "plan_query.p50_ms",
+        "plan_query.p99_ms",
+        "plan_query.requests_per_sec",
+        "ingest.batches",
+        "ingest.spans_per_batch",
+        "ingest.requests_per_sec",
+        "ingest.spans_per_sec",
+        "snapshot.bytes",
+        "snapshot.save_wall_ms",
+        "snapshot.load_wall_ms",
+        "snapshot.bit_identical",
+    ],
     "BENCH_chaos.json": ENV_KEYS + [
         "quick",
         "seeds",

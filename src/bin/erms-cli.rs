@@ -5,6 +5,9 @@
 //! erms-cli compare --app hotel-reservation --rate 25000 --sla 150
 //! erms-cli sharing --services 1000
 //! erms-cli simulate --rate 40000 --sla 300 [--delta 0.05]
+//! erms-cli serve --addr 127.0.0.1:7463 --workers 4 --snapshot state.json
+//! erms-cli status --addr 127.0.0.1:7463
+//! erms-cli snapshot --addr 127.0.0.1:7463
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -14,6 +17,8 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use erms::baselines::{Firm, GrandSlam, Rhythm};
+use erms::control::snapshot as control_snapshot;
+use erms::control::{Client, ControlPlane, ControlPlaneConfig, Json, Registry};
 use erms::core::prelude::*;
 use erms::sim::runtime::{SimConfig, Simulation};
 use erms::sim::service_time::derive_from_profile;
@@ -96,7 +101,14 @@ fn usage() {
            sharing   print the microservice-sharing CDF of a synthetic\n\
                      Alibaba-like topology  --services N --pool N --seed N\n\
            simulate  run the Fig. 5 sharing scenario in the discrete-event\n\
-                     simulator  --rate <req/min> --sla <ms> --delta <0..1>"
+                     simulator  --rate <req/min> --sla <ms> --delta <0..1>\n\
+           serve     run the erms-control HTTP control plane\n\
+                     --addr host:port (default 127.0.0.1:0)\n\
+                     --workers N --snapshot <path> [--restore]\n\
+           status    query a running control plane\n\
+                     --addr host:port\n\
+           snapshot  ask a running control plane to write its snapshot\n\
+                     --addr host:port"
     );
 }
 
@@ -265,6 +277,108 @@ fn cmd_simulate(args: &Args) -> Result<()> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> std::result::Result<(), String> {
+    let snapshot_path = args.values.get("snapshot").map(std::path::PathBuf::from);
+    let registry = match (&snapshot_path, args.flag("restore")) {
+        (Some(path), true) => {
+            let restored = control_snapshot::load(path)?;
+            eprintln!(
+                "restored {} tenant(s) from {}",
+                restored.len(),
+                path.display()
+            );
+            restored
+        }
+        _ => Registry::paper_pool(),
+    };
+    let config = ControlPlaneConfig {
+        addr: args.str("addr", "127.0.0.1:0"),
+        workers: args.usize("workers", 4),
+        snapshot_path,
+    };
+    let plane = ControlPlane::start(config, registry).map_err(|e| format!("bind failed: {e}"))?;
+    // The exact "listening on" line is the startup handshake: tools (and
+    // the CLI smoke test) read it from stdout to learn the ephemeral port.
+    println!("listening on {}", plane.addr());
+    plane.wait();
+    Ok(())
+}
+
+fn remote(args: &Args) -> std::result::Result<Client, String> {
+    let addr = args
+        .values
+        .get("addr")
+        .ok_or_else(|| "missing --addr host:port of a running `erms-cli serve`".to_string())?;
+    Client::new(addr.as_str()).map_err(|e| format!("connect to {addr}: {e}"))
+}
+
+fn cmd_status(args: &Args) -> std::result::Result<(), String> {
+    let mut client = remote(args)?;
+    let (status, body) = client
+        .request("GET", "/healthz", None)
+        .map_err(|e| format!("healthz: {e}"))?;
+    if status != 200 {
+        return Err(format!("healthz returned HTTP {status}"));
+    }
+    let health = Json::parse(&String::from_utf8_lossy(&body)).map_err(|e| e.to_string())?;
+    println!(
+        "control plane: {} ({} requests served, draining: {})",
+        health.get("status").and_then(Json::as_str).unwrap_or("?"),
+        health.get("requests").and_then(Json::as_f64).unwrap_or(0.0),
+        health
+            .get("draining")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+    );
+    let (status, body) = client
+        .request("GET", "/v1/tenants", None)
+        .map_err(|e| format!("tenants: {e}"))?;
+    if status != 200 {
+        return Err(format!("tenant listing returned HTTP {status}"));
+    }
+    let tenants = Json::parse(&String::from_utf8_lossy(&body)).map_err(|e| e.to_string())?;
+    let tenants = tenants.as_arr().unwrap_or(&[]);
+    println!("tenants: {}", tenants.len());
+    for t in tenants {
+        println!(
+            "  {:<16} app {:<20} rounds {:>4}  spans {:>8}  containers {}",
+            t.get("id").and_then(Json::as_str).unwrap_or("?"),
+            t.get("app").and_then(Json::as_str).unwrap_or("?"),
+            t.get("rounds").and_then(Json::as_f64).unwrap_or(0.0),
+            t.get("spans_ingested")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            t.get("plan_containers")
+                .and_then(Json::as_f64)
+                .map_or("-".to_string(), |c| format!("{c}")),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_snapshot(args: &Args) -> std::result::Result<(), String> {
+    let mut client = remote(args)?;
+    let (status, body) = client
+        .request("POST", "/v1/snapshot", None)
+        .map_err(|e| format!("snapshot: {e}"))?;
+    let text = String::from_utf8_lossy(&body).to_string();
+    if status != 200 {
+        let detail = Json::parse(&text)
+            .ok()
+            .and_then(|j| j.get("error").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or(text);
+        return Err(format!("snapshot refused (HTTP {status}): {detail}"));
+    }
+    let reply = Json::parse(&text).map_err(|e| e.to_string())?;
+    println!(
+        "snapshot written: {} bytes, {} tenant(s) -> {}",
+        reply.get("bytes").and_then(Json::as_f64).unwrap_or(0.0),
+        reply.get("tenants").and_then(Json::as_f64).unwrap_or(0.0),
+        reply.get("path").and_then(Json::as_str).unwrap_or("?"),
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
@@ -280,7 +394,22 @@ fn main() -> ExitCode {
             Ok(())
         }
         "simulate" => cmd_simulate(&args),
-        _ => {
+        "serve" | "status" | "snapshot" => {
+            let run = match command.as_str() {
+                "serve" => cmd_serve(&args),
+                "status" => cmd_status(&args),
+                _ => cmd_snapshot(&args),
+            };
+            return match run {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n");
             usage();
             return ExitCode::FAILURE;
         }

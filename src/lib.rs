@@ -18,6 +18,10 @@
 //! * [`telemetry`] — in-sim observability: sampled span collection,
 //!   mergeable quantile sketches, and the online re-profiling loop that
 //!   feeds re-fitted latency models back to the planners.
+//! * [`control`] — a long-running multi-tenant control-plane daemon: a
+//!   dependency-free HTTP/JSON API over the planner core with span
+//!   ingestion, explicit re-plan triggers, Prometheus-style metrics, and
+//!   versioned snapshot/restore with bit-identical warm resumption.
 //!
 //! # Quick start
 //!
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use erms_baselines as baselines;
+pub use erms_control as control;
 pub use erms_core as core;
 pub use erms_profilers as profilers;
 pub use erms_sim as sim;

@@ -1,0 +1,171 @@
+//! Snapshot/restore bit-identity, driven end-to-end over HTTP.
+//!
+//! A scripted multi-tenant mutation sequence runs against a live control
+//! plane: create two tenants, plan, ingest telemetry, shift workloads.
+//! Mid-script the daemon snapshots itself. The script then continues in
+//! three worlds — the uninterrupted daemon, a freshly started daemon
+//! restored from the snapshot (the "restart"), and the original daemon
+//! after an in-place `POST /v1/reload` (the "rollback") — and every world
+//! must answer the continuation with **byte-identical** JSON. Shortest
+//! round-trip `f64` rendering is injective on bit patterns, so byte
+//! equality of the rendered plans is bit equality of every float in them.
+
+use std::collections::BTreeMap;
+
+use erms::control::codec::{app_to_json, span_batch_to_json, SpanBatch};
+use erms::control::{snapshot, Client, ControlPlane, ControlPlaneConfig, Json, Registry};
+use erms::core::prelude::*;
+use erms::sim::telemetry::SpanRecord;
+use erms::workload::apps::fig5_app;
+
+fn tiny_app(name: &str) -> App {
+    let mut b = erms::core::app::AppBuilder::new(name);
+    let m = b.microservice(
+        "m",
+        erms::core::latency::LatencyProfile::kneed(0.002, 3.0, 0.02, 9000.0),
+        erms::core::resources::Resources::new(0.1, 200.0),
+    );
+    b.service("s", Sla::p95_ms(100.0), |g| {
+        g.entry(m);
+    });
+    b.build().unwrap()
+}
+
+fn post(client: &mut Client, path: &str, body: Option<&[u8]>) -> (u16, String) {
+    let (status, bytes) = client.request("POST", path, body).expect("request");
+    (status, String::from_utf8(bytes).expect("UTF-8 response"))
+}
+
+/// Deterministic synthetic spans with awkward fractional latencies, to
+/// push non-trivial f64 bit patterns through the snapshot.
+fn synthetic_batch(app: &App, containers: BTreeMap<MicroserviceId, u32>) -> SpanBatch {
+    let mut spans = Vec::new();
+    let services: Vec<ServiceId> = app.services().map(|(sid, _)| sid).collect();
+    for (ms, _) in app.microservices() {
+        for window in 0..3u32 {
+            for i in 0..12u32 {
+                let start = f64::from(window) * 1_000.0 + f64::from(i) * 71.3;
+                let latency = 3.0 + f64::from(i) * 0.37 + f64::from(ms.index() as u32) * 0.11;
+                spans.push(SpanRecord {
+                    service: services[i as usize % services.len()],
+                    microservice: ms,
+                    container: i % 2,
+                    priority_class: 0,
+                    start_ms: start,
+                    end_ms: start + latency,
+                });
+            }
+        }
+    }
+    SpanBatch {
+        sampling: 0.5,
+        containers,
+        spans,
+    }
+}
+
+/// The continuation every world must answer identically: one more
+/// workload shift plus a replan per tenant, returning the raw response
+/// bodies in a fixed order.
+fn continuation(client: &mut Client) -> Vec<String> {
+    let mut out = Vec::new();
+    for (id, rate) in [("alpha", 52_500.0), ("beta", 9_000.0)] {
+        let body = format!("[[0, {rate}], [1, {rate}]]");
+        let body = if id == "beta" {
+            format!("[[0, {rate}]]")
+        } else {
+            body
+        };
+        let (status, reply) = post(
+            client,
+            &format!("/v1/tenants/{id}/workloads"),
+            Some(body.as_bytes()),
+        );
+        assert_eq!(status, 200, "{reply}");
+        let (status, reply) = post(client, &format!("/v1/tenants/{id}/replan"), None);
+        assert_eq!(status, 200, "{reply}");
+        out.push(reply);
+        let (status, plan) = client
+            .request("GET", &format!("/v1/tenants/{id}/plan"), None)
+            .expect("plan");
+        assert_eq!(status, 200);
+        out.push(String::from_utf8(plan).unwrap());
+    }
+    out
+}
+
+#[test]
+fn restored_daemon_continues_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("erms-snapshot-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("registry.json");
+
+    let config = ControlPlaneConfig {
+        snapshot_path: Some(path.clone()),
+        ..ControlPlaneConfig::default()
+    };
+    let plane = ControlPlane::start(config, Registry::paper_pool()).expect("start");
+    let mut client = Client::new(plane.addr()).expect("connect");
+
+    // --- The scripted mutation sequence. ---
+    let (fig5, _, [s1, s2]) = fig5_app(300.0);
+    for (id, app) in [("alpha", fig5.clone()), ("beta", tiny_app("beta"))] {
+        let body = Json::obj(vec![("id", Json::str(id)), ("app", app_to_json(&app))]).render();
+        let (status, reply) = post(&mut client, "/v1/tenants", Some(body.as_bytes()));
+        assert_eq!(status, 201, "{reply}");
+    }
+    let (status, _) = post(
+        &mut client,
+        "/v1/tenants/alpha/workloads",
+        Some(format!("[[{}, 30000.0], [{}, 30000.0]]", s1.index(), s2.index()).as_bytes()),
+    );
+    assert_eq!(status, 200);
+    let (status, _) = post(
+        &mut client,
+        "/v1/tenants/beta/workloads",
+        Some(b"[[0, 12000.0]]"),
+    );
+    assert_eq!(status, 200);
+    for id in ["alpha", "beta"] {
+        let (status, reply) = post(&mut client, &format!("/v1/tenants/{id}/replan"), None);
+        assert_eq!(status, 200, "{reply}");
+    }
+    // Telemetry lands in alpha's profiler (it survives the snapshot and
+    // feeds the post-restore refit).
+    let containers: BTreeMap<MicroserviceId, u32> =
+        plane.with_registry(|r| r.get("alpha").unwrap().plan().unwrap().iter().collect());
+    let batch = synthetic_batch(&fig5, containers);
+    let (status, reply) = post(
+        &mut client,
+        "/v1/tenants/alpha/spans",
+        Some(span_batch_to_json(&batch).render().as_bytes()),
+    );
+    assert_eq!(status, 200, "{reply}");
+
+    // --- Snapshot mid-script, then continue the uninterrupted world. ---
+    let (status, reply) = post(&mut client, "/v1/snapshot", None);
+    assert_eq!(status, 200, "{reply}");
+    let warm = continuation(&mut client);
+
+    // --- World 2: a fresh daemon restarted from the snapshot. ---
+    let restored = snapshot::load(&path).expect("load snapshot");
+    let plane2 = ControlPlane::start(ControlPlaneConfig::default(), restored).expect("restart");
+    let mut client2 = Client::new(plane2.addr()).expect("connect");
+    let cold = continuation(&mut client2);
+    assert_eq!(warm, cold, "restored daemon must continue bit-identically");
+    plane2.stop();
+
+    // --- World 3: the original daemon rolled back in place via reload.
+    // The drain machinery swaps the registry for the snapshot while the
+    // server keeps running; the continuation must replay identically.
+    let (status, reply) = post(&mut client, "/v1/reload", None);
+    assert_eq!(status, 200, "{reply}");
+    let replayed = continuation(&mut client);
+    assert_eq!(
+        warm, replayed,
+        "reloaded daemon must replay bit-identically"
+    );
+
+    plane.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
