@@ -101,13 +101,14 @@ fn main() {
         .request("POST", "/v1/tenants", Some(body.as_bytes()))
         .expect("create tenant");
     assert_eq!(status, 201);
-    plane.with_registry(|r| {
-        let t = r.get_mut("bench").expect("tenant");
-        let mut w = WorkloadVector::new();
-        w.set(s1, RequestRate::per_minute(30_000.0));
-        w.set(s2, RequestRate::per_minute(30_000.0));
-        t.workloads = w;
-    });
+    plane
+        .with_tenant("bench", |t| {
+            let mut w = WorkloadVector::new();
+            w.set(s1, RequestRate::per_minute(30_000.0));
+            w.set(s2, RequestRate::per_minute(30_000.0));
+            t.workloads = w;
+        })
+        .expect("tenant");
     let (status, _) = client
         .request("POST", "/v1/tenants/bench/replan", None)
         .expect("replan");
@@ -172,28 +173,84 @@ fn main() {
         load_ms = load_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         restored = Some(r);
     }
-    let mut restored = restored.expect("at least one load");
+    let restored = restored.expect("at least one load");
     println!(
         "snapshot: {bytes:.0} bytes, save {save_ms:.2} ms (HTTP round-trip), load {load_ms:.2} ms"
     );
 
     // --- Bit-identity gate: continue both worlds one round. ---
-    let warm = plane.with_registry(|r| {
-        let t = r.get_mut("bench").expect("tenant");
-        t.replan();
-        erms_control::codec::plan_to_json(t.plan().expect("plan")).render()
-    });
-    let cold = {
-        let t = restored.get_mut("bench").expect("restored tenant");
-        t.replan();
-        erms_control::codec::plan_to_json(t.plan().expect("plan")).render()
-    };
+    let warm = plane
+        .with_tenant("bench", |t| {
+            t.replan();
+            erms_control::codec::plan_to_json(t.plan().expect("plan")).render()
+        })
+        .expect("tenant");
+    let cold = restored
+        .with_tenant("bench", |t| {
+            t.replan();
+            erms_control::codec::plan_to_json(t.plan().expect("plan")).render()
+        })
+        .expect("restored tenant");
     let bit_identical = warm == cold;
     assert!(
         bit_identical,
         "restored registry diverged from the live daemon"
     );
     println!("restored-warm continuation: bit-identical");
+
+    // --- Two-thread lock contention: same tenant vs distinct tenants. ---
+    // With per-tenant locks, two clients hammering *different* tenants
+    // only share the brief handle-resolution hold; two clients on the
+    // *same* tenant serialize on its lock. The ratio quantifies what the
+    // split lock buys (≈1.0 on a single-core host).
+    let body2 = Json::obj(vec![
+        ("id", Json::str("bench2")),
+        ("app", app_to_json(&app)),
+    ])
+    .render();
+    let (status, _) = client
+        .request("POST", "/v1/tenants", Some(body2.as_bytes()))
+        .expect("create bench2");
+    assert_eq!(status, 201);
+    plane
+        .with_tenant("bench2", |t| {
+            let mut w = WorkloadVector::new();
+            w.set(s1, RequestRate::per_minute(30_000.0));
+            w.set(s2, RequestRate::per_minute(30_000.0));
+            t.workloads = w;
+        })
+        .expect("tenant");
+    let (status, _) = client
+        .request("POST", "/v1/tenants/bench2/replan", None)
+        .expect("replan bench2");
+    assert_eq!(status, 200);
+    let contention_batches = if quick { 20usize } else { 120usize };
+    let contention_body = span_batch_to_json(&batch(&app, spans_per_batch, 17)).render();
+    let run_pair = |targets: [&str; 2]| -> f64 {
+        let addr = plane.addr();
+        let body = contention_body.as_bytes();
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for target in targets {
+                let path = format!("/v1/tenants/{target}/spans");
+                s.spawn(move || {
+                    let mut c = Client::new(addr).expect("connect");
+                    for _ in 0..contention_batches {
+                        let (status, reply) = c.request("POST", &path, Some(body)).expect("ingest");
+                        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&reply));
+                    }
+                });
+            }
+        });
+        (2 * contention_batches) as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+    let same_rps = run_pair(["bench", "bench"]);
+    let distinct_rps = run_pair(["bench", "bench2"]);
+    let contention_speedup = distinct_rps / same_rps.max(1e-9);
+    println!(
+        "contention (2 threads x {contention_batches} batches): same-tenant {same_rps:.0} req/s, \
+         distinct-tenant {distinct_rps:.0} req/s ({contention_speedup:.2}x)"
+    );
 
     plane.stop();
     std::fs::remove_dir_all(&dir).ok();
@@ -229,6 +286,16 @@ fn main() {
                 ("save_wall_ms", Json::Num(save_ms)),
                 ("load_wall_ms", Json::Num(load_ms)),
                 ("bit_identical", Json::Bool(bit_identical)),
+            ]),
+        ),
+        (
+            "contention",
+            Json::obj(vec![
+                ("threads", Json::Num(2.0)),
+                ("batches_per_thread", Json::Num(contention_batches as f64)),
+                ("same_tenant_requests_per_sec", Json::Num(same_rps)),
+                ("distinct_tenant_requests_per_sec", Json::Num(distinct_rps)),
+                ("speedup", Json::Num(contention_speedup)),
             ]),
         ),
     ])

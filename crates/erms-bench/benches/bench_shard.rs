@@ -1,7 +1,9 @@
 //! Shard-scaling harness for the parallel DES engine: runs the
 //! Taobao-scale synthetic topology (500 services over a 5000-microservice
-//! pool) through `Simulation::run_sharded` across a K × threads grid and
-//! emits `BENCH_shard.json`.
+//! pool) through `Simulation::run_sharded` across a K × threads grid,
+//! compares modulo vs topology-aware partitions (`partition_compare`:
+//! cut-edge fraction, window/message counts and serial wall time at
+//! K∈{2,4,8} under adaptive windows), and emits `BENCH_shard.json`.
 //!
 //! Usage (as a `harness = false` bench target):
 //!
@@ -26,7 +28,7 @@ use erms_core::latency::Interference;
 use erms_core::prelude::{MicroserviceId, RequestRate, WorkloadVector};
 use erms_sim::runtime::{SimConfig, SimResult, Simulation};
 use erms_sim::service_time::ServiceTimeModel;
-use erms_sim::{cross_shard_edge_fraction, replicate};
+use erms_sim::{cross_shard_edge_fraction, replicate, Partition};
 use erms_trace::synth::{generate, SynthConfig};
 use erms_workload::apps::fig5_app;
 
@@ -294,6 +296,108 @@ fn main() {
          engine untouched"
     );
 
+    // --- Modulo vs topology-aware partitioning, serial (T=1). Both sides
+    // run through `run_sharded_with_partition` (adaptive windows), so the
+    // comparison isolates the partition quality; every run is asserted
+    // bit-identical to the pinned golden before any number is written. ---
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let want = base_digest.expect("grid ran");
+    let mut pc_json = Vec::new();
+    println!("partition_compare (serial, adaptive windows):");
+    for &k in &[2usize, 4, 8] {
+        let candidates = [
+            ("modulo", Partition::modulo(sc.app.microservice_count(), k)),
+            (
+                "topology",
+                Partition::topology_aware(&sc.app, &sc.workloads, k),
+            ),
+        ];
+        let mut cells = Vec::new();
+        for (name, part) in &candidates {
+            let mut best = f64::INFINITY;
+            let mut last_stats = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let (result, stats) = sim
+                    .run_sharded_with_partition(
+                        &sc.workloads,
+                        &sc.containers,
+                        &BTreeMap::new(),
+                        part,
+                    )
+                    .expect("partitioned run");
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+                let d = digest(&result);
+                assert!(
+                    d == want,
+                    "{name} partition at K={k} diverged from the K=1 run ({d} vs {want})"
+                );
+                last_stats = Some(stats);
+            }
+            let stats = last_stats.expect("at least one rep");
+            println!(
+                "  K={k} {name}: cut {:.3} ({}/{} edges), {} windows, {} msgs \
+                 ({:.1}/window), {best:.1} ms wall",
+                stats.cut_edge_fraction(),
+                stats.cut_edges,
+                stats.total_edges,
+                stats.windows,
+                stats.messages,
+                stats.messages_per_window(),
+            );
+            cells.push((*name, stats, best));
+        }
+        let (_, mstats, mwall) = cells[0];
+        let (_, tstats, twall) = cells[1];
+        let cut_reduction = if mstats.cut_edges == 0 {
+            0.0
+        } else {
+            1.0 - tstats.cut_edges as f64 / mstats.cut_edges as f64
+        };
+        println!(
+            "  K={k}: topology cuts {:.1}% fewer edges, wall {:.2}x of modulo",
+            cut_reduction * 100.0,
+            twall / mwall.max(1e-9)
+        );
+        if k == 4 {
+            assert!(
+                cut_reduction >= 0.40,
+                "topology-aware partition at K=4 cut only {:.1}% fewer cross-shard \
+                 edges than modulo (target >= 40%)",
+                cut_reduction * 100.0
+            );
+        }
+        if !quick {
+            assert!(
+                twall <= mwall * 1.10,
+                "topology-aware partition at K={k} ran {twall:.1} ms vs modulo \
+                 {mwall:.1} ms — more than 10% slower despite fewer cut edges"
+            );
+        }
+        let cell_json = |stats: erms_sim::ShardStats, wall: f64| {
+            format!(
+                "{{\"cut_fraction\": {}, \"cut_edges\": {}, \"total_edges\": {}, \
+                 \"windows\": {}, \"messages\": {}, \"messages_per_window\": {}, \
+                 \"wall_ms\": {}}}",
+                json_f(stats.cut_edge_fraction()),
+                stats.cut_edges,
+                stats.total_edges,
+                stats.windows,
+                stats.messages,
+                json_f(stats.messages_per_window()),
+                json_f(wall)
+            )
+        };
+        pc_json.push(format!(
+            "    {{\"shards\": {k}, \"modulo\": {}, \"topology\": {}, \
+             \"cut_reduction\": {}, \"bit_identical\": true}}",
+            cell_json(mstats, mwall),
+            cell_json(tstats, twall),
+            json_f(cut_reduction)
+        ));
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
     // --- Replication sanity: the fan-out harness still composes with the
     // sharded engine (each replica is itself a K=2 run). ---
     let rep_results = replicate(21, 2, |seed, _| {
@@ -315,7 +419,8 @@ fn main() {
          \"scenario\": {{\n    \"duration_ms\": {duration_ms},\n    \
          \"rate_per_service_per_min\": {rate_per_min},\n    \"network_delay_ms\": 1.0,\n    \
          \"events\": {events},\n    \"golden_digest\": {gd}\n  }},\n  \
-         \"grid\": [\n{grid}\n  ],\n  \"single_shard_overhead\": {{\n    \
+         \"grid\": [\n{grid}\n  ],\n  \"partition_compare\": [\n{pc}\n  ],\n  \
+         \"single_shard_overhead\": {{\n    \
          \"sequential_wall_ms\": {rw},\n    \"sequential_events_per_sec\": {re},\n    \
          \"sharded_k1_wall_ms\": {kw},\n    \"sharded_k1_events_per_sec\": {ke}\n  }},\n  \
          \"speedup_4shards_4threads\": {s44},\n  \"target_speedup\": 2.5,\n  \
@@ -326,6 +431,7 @@ fn main() {
         frac = frac_json.join(", "),
         gd = base_digest.expect("grid ran"),
         grid = grid_json.join(",\n"),
+        pc = pc_json.join(",\n"),
         rw = json_f(run_wall),
         re = json_f(run_eps),
         kw = json_f(k1_wall),

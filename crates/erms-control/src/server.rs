@@ -1,12 +1,16 @@
 //! The control-plane HTTP service: routing, drain/reload, metrics
 //! rendering.
 //!
-//! One mutex guards the whole [`Registry`]. That is a deliberate
-//! simplicity/raciness trade-off: every mutating endpoint is a
-//! read-modify-write over shared planner state, the critical sections are
-//! milliseconds (a full replan of the paper's app is sub-millisecond), and
-//! a single lock makes the bit-identity story trivial — request order is
-//! the only source of nondeterminism, and the tests fix it.
+//! Locking is two-level (see the `tenant` module docs): a short-held
+//! outer mutex guards the [`Registry`] map itself, and each tenant sits
+//! behind its own `Arc<Mutex<Tenant>>`. Per-tenant endpoints (ingest,
+//! replan, plan, history, …) resolve the handle under the outer lock,
+//! *drop it*, and then lock only their tenant — so a slow replan for one
+//! tenant no longer serializes every other tenant's traffic behind it.
+//! Registry-shaped endpoints (create/delete/list/metrics/snapshot/reload)
+//! still run under the outer lock; list/metrics/snapshot additionally take
+//! every tenant lock in id order for a consistent cut. Per-tenant request
+//! order remains the only source of nondeterminism, exactly as before.
 //!
 //! Graceful reload: `POST /v1/reload` flips the draining flag (new
 //! requests get 503), waits until it is the only request in flight, swaps
@@ -118,7 +122,8 @@ impl ControlPlane {
     }
 
     /// Direct access to the registry, bypassing HTTP — used by benches to
-    /// seed state without paying the wire cost.
+    /// seed state without paying the wire cost. Holds the outer lock for
+    /// the duration of `f`; prefer [`Self::with_tenant`] for tenant work.
     ///
     /// # Panics
     ///
@@ -127,6 +132,29 @@ impl ControlPlane {
         let mut registry = self.shared.registry.lock().expect("registry poisoned");
         f(&mut registry)
     }
+
+    /// Direct access to one tenant, bypassing HTTP. Resolves the handle
+    /// under the outer lock, releases it, then runs `f` under the tenant's
+    /// own lock — the same discipline the per-tenant handlers follow.
+    /// Returns `None` if the tenant does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry or tenant lock is poisoned.
+    pub fn with_tenant<R>(&self, id: &str, f: impl FnOnce(&mut Tenant) -> R) -> Option<R> {
+        let handle = tenant_handle(&self.shared, id)?;
+        let mut tenant = handle.lock().expect("tenant poisoned");
+        Some(f(&mut tenant))
+    }
+}
+
+/// Resolves a tenant's lock handle under a brief outer-lock hold.
+fn tenant_handle(shared: &Shared, id: &str) -> Option<Arc<Mutex<Tenant>>> {
+    shared
+        .registry
+        .lock()
+        .expect("registry poisoned")
+        .tenant(id)
 }
 
 fn err_json(status: u16, message: &str) -> Response {
@@ -214,7 +242,7 @@ fn metrics(shared: &Arc<Shared>) -> Response {
     for (name, value) in registry.metrics.gauges() {
         out.push_str(&format!("erms_{} {value}\n", sanitize_metric(name)));
     }
-    for tenant in registry.tenants() {
+    for tenant in registry.lock_tenants() {
         let mut per_tenant = MetricsRegistry::new();
         tenant.record_metrics(&mut per_tenant);
         for (name, value) in per_tenant.counters() {
@@ -258,7 +286,10 @@ fn tenant_summary(t: &Tenant) -> Json {
 
 fn list_tenants(shared: &Arc<Shared>) -> Response {
     let registry = shared.registry.lock().expect("registry poisoned");
-    ok_json(Json::Arr(registry.tenants().map(tenant_summary).collect()))
+    let tenants = registry.lock_tenants();
+    ok_json(Json::Arr(
+        tenants.iter().map(|t| tenant_summary(t)).collect(),
+    ))
 }
 
 fn create_tenant(shared: &Arc<Shared>, req: &Request) -> Response {
@@ -279,17 +310,20 @@ fn create_tenant(shared: &Arc<Shared>, req: &Request) -> Response {
     let id = id.to_string();
     let mut registry = shared.registry.lock().expect("registry poisoned");
     match registry.create(&id, app) {
-        Ok(tenant) => Response::json(201, tenant_summary(tenant).render()),
+        Ok(handle) => {
+            let tenant = handle.lock().expect("tenant poisoned");
+            Response::json(201, tenant_summary(&tenant).render())
+        }
         Err(e) => err_json(409, &e),
     }
 }
 
 fn tenant_status(shared: &Arc<Shared>, id: &str) -> Response {
-    let registry = shared.registry.lock().expect("registry poisoned");
-    match registry.get(id) {
-        Some(t) => ok_json(tenant_summary(t)),
-        None => err_json(404, &format!("no tenant `{id}`")),
-    }
+    let Some(handle) = tenant_handle(shared, id) else {
+        return err_json(404, &format!("no tenant `{id}`"));
+    };
+    let tenant = handle.lock().expect("tenant poisoned");
+    ok_json(tenant_summary(&tenant))
 }
 
 fn delete_tenant(shared: &Arc<Shared>, id: &str) -> Response {
@@ -310,10 +344,10 @@ fn ingest_spans(shared: &Arc<Shared>, id: &str, req: &Request) -> Response {
         Ok(b) => b,
         Err(e) => return err_json(400, &e),
     };
-    let mut registry = shared.registry.lock().expect("registry poisoned");
-    let Some(tenant) = registry.get_mut(id) else {
+    let Some(handle) = tenant_handle(shared, id) else {
         return err_json(404, &format!("no tenant `{id}`"));
     };
+    let mut tenant = handle.lock().expect("tenant poisoned");
     match tenant.ingest(&batch) {
         Ok(added) => ok_json(Json::obj(vec![
             ("spans", Json::Num(batch.spans.len() as f64)),
@@ -332,20 +366,20 @@ fn set_workloads(shared: &Arc<Shared>, id: &str, req: &Request) -> Response {
         Ok(w) => w,
         Err(e) => return err_json(400, &e),
     };
-    let mut registry = shared.registry.lock().expect("registry poisoned");
-    let Some(tenant) = registry.get_mut(id) else {
+    let Some(handle) = tenant_handle(shared, id) else {
         return err_json(404, &format!("no tenant `{id}`"));
     };
+    let mut tenant = handle.lock().expect("tenant poisoned");
     let count = workloads.iter().count();
     tenant.workloads = workloads;
     ok_json(Json::obj(vec![("services", Json::Num(count as f64))]))
 }
 
 fn get_plan(shared: &Arc<Shared>, id: &str) -> Response {
-    let registry = shared.registry.lock().expect("registry poisoned");
-    let Some(tenant) = registry.get(id) else {
+    let Some(handle) = tenant_handle(shared, id) else {
         return err_json(404, &format!("no tenant `{id}`"));
     };
+    let tenant = handle.lock().expect("tenant poisoned");
     match tenant.plan() {
         Some(plan) => ok_json(plan_to_json(plan)),
         None => err_json(404, "no plan applied yet: run a replan first"),
@@ -372,10 +406,10 @@ fn record_to_json(r: &DecisionRecord) -> Json {
 }
 
 fn replan(shared: &Arc<Shared>, id: &str) -> Response {
-    let mut registry = shared.registry.lock().expect("registry poisoned");
-    let Some(tenant) = registry.get_mut(id) else {
+    let Some(handle) = tenant_handle(shared, id) else {
         return err_json(404, &format!("no tenant `{id}`"));
     };
+    let mut tenant = handle.lock().expect("tenant poisoned");
     let record = tenant.replan().clone();
     let plan = tenant.plan().map_or(Json::Null, crate::codec::plan_to_json);
     ok_json(Json::obj(vec![
@@ -385,11 +419,13 @@ fn replan(shared: &Arc<Shared>, id: &str) -> Response {
 }
 
 fn history(shared: &Arc<Shared>, id: &str) -> Response {
-    let registry = shared.registry.lock().expect("registry poisoned");
-    match registry.get(id) {
-        Some(t) => ok_json(Json::Arr(t.history.iter().map(record_to_json).collect())),
-        None => err_json(404, &format!("no tenant `{id}`")),
-    }
+    let Some(handle) = tenant_handle(shared, id) else {
+        return err_json(404, &format!("no tenant `{id}`"));
+    };
+    let tenant = handle.lock().expect("tenant poisoned");
+    ok_json(Json::Arr(
+        tenant.history.iter().map(record_to_json).collect(),
+    ))
 }
 
 fn take_snapshot(shared: &Arc<Shared>) -> Response {

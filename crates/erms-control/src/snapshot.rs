@@ -184,6 +184,8 @@ fn tenant_from_json(j: &Json) -> Result<Tenant, String> {
 
 /// Encodes the whole registry (tenants in id order; the control-plane
 /// metrics registry is derived state and deliberately not carried).
+/// Takes every tenant lock in id order for a consistent cut — no tenant
+/// mutates between the first and last tenant's serialisation.
 pub fn registry_to_json(registry: &Registry) -> Json {
     Json::obj(vec![
         ("version", Json::Num(SNAPSHOT_VERSION as f64)),
@@ -193,7 +195,13 @@ pub fn registry_to_json(registry: &Registry) -> Json {
         ),
         (
             "tenants",
-            Json::Arr(registry.tenants().map(tenant_to_json).collect()),
+            Json::Arr(
+                registry
+                    .lock_tenants()
+                    .iter()
+                    .map(|t| tenant_to_json(t))
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -282,28 +290,29 @@ mod tests {
     fn snapshot_round_trips_and_preserves_next_plan_bits() {
         let mut registry = Registry::paper_pool();
         registry.create("a", app()).unwrap();
-        {
-            let t = registry.get_mut("a").unwrap();
-            t.workloads = WorkloadVector::uniform(&t.app, RequestRate::per_minute(30_000.0));
-            t.replan();
-            t.workloads = WorkloadVector::uniform(&t.app, RequestRate::per_minute(60_000.0));
-        }
+        registry
+            .with_tenant("a", |t| {
+                t.workloads = WorkloadVector::uniform(&t.app, RequestRate::per_minute(30_000.0));
+                t.replan();
+                t.workloads = WorkloadVector::uniform(&t.app, RequestRate::per_minute(60_000.0));
+            })
+            .unwrap();
 
         let dir = std::env::temp_dir().join("erms-control-snapshot-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("registry.json");
         let bytes = save(&registry, &path).unwrap();
         assert!(bytes > 0);
-        let mut restored = load(&path).unwrap();
+        let restored = load(&path).unwrap();
 
         // Continue both worlds identically: the next round must agree bit
         // for bit.
-        let a = registry.get_mut("a").unwrap().replan().clone();
-        let b = restored.get_mut("a").unwrap().replan().clone();
+        let a = registry.with_tenant("a", |t| t.replan().clone()).unwrap();
+        let b = restored.with_tenant("a", |t| t.replan().clone()).unwrap();
         assert_eq!(a, b);
         assert_eq!(
-            registry.get("a").unwrap().plan(),
-            restored.get("a").unwrap().plan()
+            registry.with_tenant("a", |t| t.plan().cloned()).unwrap(),
+            restored.with_tenant("a", |t| t.plan().cloned()).unwrap()
         );
         std::fs::remove_file(&path).ok();
     }

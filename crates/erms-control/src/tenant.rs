@@ -2,6 +2,18 @@
 //! microservice pool, each with its own profiling → planning → fallback
 //! loop.
 //!
+//! # Locking
+//!
+//! The registry map itself sits behind the server's outer lock, held
+//! only long enough to resolve an id to its tenant handle; each tenant's
+//! mutable state lives under its **own** [`Mutex`], so two tenants'
+//! replans and span ingests proceed concurrently. The lock hierarchy is
+//! strictly *outer lock → tenant lock* (never the reverse, and
+//! registry-wide operations such as snapshots acquire tenant locks in id
+//! order via [`Registry::lock_tenants`]), which makes deadlock
+//! impossible by construction. A panicked round poisons only its own
+//! tenant; the registry and all other tenants keep serving.
+//!
 //! # Tenant isolation
 //!
 //! Every tenant plans against its **own** [`ClusterState`] view,
@@ -18,6 +30,7 @@
 //! properties.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use erms_core::app::{App, WorkloadVector};
 use erms_core::autoscaler::ScalingPlan;
@@ -212,12 +225,14 @@ impl PoolUsage {
     }
 }
 
-/// The tenant registry: the single mutable root the HTTP server guards
-/// with one lock.
+/// The tenant registry: an id → tenant-handle map plus the shared pool
+/// template. The map is guarded by the server's short-held outer lock;
+/// each [`Tenant`] is guarded by its own `Mutex` (see the module docs
+/// for the lock hierarchy).
 #[derive(Debug)]
 pub struct Registry {
     pool: Vec<Host>,
-    tenants: BTreeMap<String, Tenant>,
+    tenants: BTreeMap<String, Arc<Mutex<Tenant>>>,
     /// Control-plane-level counters (request totals, pool gauges).
     pub metrics: MetricsRegistry,
 }
@@ -247,46 +262,69 @@ impl Registry {
         &self.pool
     }
 
-    /// Registers a tenant.
+    /// Registers a tenant, returning its handle.
     ///
     /// # Errors
     ///
     /// Rejects an id that is already registered or empty.
-    pub fn create(&mut self, id: &str, app: App) -> Result<&mut Tenant, String> {
+    pub fn create(&mut self, id: &str, app: App) -> Result<Arc<Mutex<Tenant>>, String> {
         if id.is_empty() {
             return Err("tenant id must be non-empty".into());
         }
         if self.tenants.contains_key(id) {
             return Err(format!("tenant `{id}` already exists"));
         }
-        let tenant = Tenant::new(id, app, &self.pool);
-        Ok(self.tenants.entry(id.to_string()).or_insert(tenant))
+        let tenant = Arc::new(Mutex::new(Tenant::new(id, app, &self.pool)));
+        self.tenants.insert(id.to_string(), Arc::clone(&tenant));
+        Ok(tenant)
     }
 
     /// Inserts an already-built tenant (snapshot restore path). Replaces
     /// any existing tenant with the same id.
     pub fn insert(&mut self, tenant: Tenant) {
-        self.tenants.insert(tenant.id.clone(), tenant);
+        self.tenants
+            .insert(tenant.id.clone(), Arc::new(Mutex::new(tenant)));
     }
 
-    /// Removes a tenant, returning whether it existed.
+    /// Removes a tenant, returning whether it existed. A handler still
+    /// holding the tenant's handle finishes its request against the
+    /// detached state; the registry simply stops resolving the id.
     pub fn remove(&mut self, id: &str) -> bool {
         self.tenants.remove(id).is_some()
     }
 
-    /// Looks a tenant up.
-    pub fn get(&self, id: &str) -> Option<&Tenant> {
-        self.tenants.get(id)
+    /// The handle of a tenant: clone it out under the brief outer lock,
+    /// drop the registry guard, then lock the tenant itself.
+    pub fn tenant(&self, id: &str) -> Option<Arc<Mutex<Tenant>>> {
+        self.tenants.get(id).map(Arc::clone)
     }
 
-    /// Looks a tenant up mutably.
-    pub fn get_mut(&mut self, id: &str) -> Option<&mut Tenant> {
-        self.tenants.get_mut(id)
+    /// Runs `f` against one locked tenant (convenience over
+    /// [`Registry::tenant`] for callers already holding the outer lock —
+    /// the hierarchy *outer → tenant* makes this safe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant's lock is poisoned.
+    pub fn with_tenant<R>(&self, id: &str, f: impl FnOnce(&mut Tenant) -> R) -> Option<R> {
+        let handle = self.tenant(id)?;
+        let mut tenant = handle.lock().expect("tenant poisoned");
+        Some(f(&mut tenant))
     }
 
-    /// All tenants in id order.
-    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> + '_ {
-        self.tenants.values()
+    /// Locks every tenant in id order and returns the guards — a
+    /// consistent cut across the registry for snapshots and metrics
+    /// rendering. The fixed order keeps concurrent whole-registry
+    /// operations deadlock-free against each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tenant's lock is poisoned.
+    pub fn lock_tenants(&self) -> Vec<MutexGuard<'_, Tenant>> {
+        self.tenants
+            .values()
+            .map(|t| t.lock().expect("tenant poisoned"))
+            .collect()
     }
 
     /// Number of registered tenants.
@@ -308,7 +346,8 @@ impl Registry {
         let capacity_mem: f64 = self.pool.iter().map(|h| h.mem_capacity).sum();
         let mut requested_cpu = 0.0;
         let mut requested_mem = 0.0;
-        for tenant in self.tenants.values() {
+        for handle in self.tenants.values() {
+            let tenant = handle.lock().expect("tenant poisoned");
             if let Some(plan) = tenant.plan() {
                 for (ms, count) in plan.iter() {
                     if let Ok(micro) = tenant.app.microservice(ms) {
@@ -368,29 +407,57 @@ mod tests {
 
         let rate = RequestRate::per_minute(30_000.0);
         for id in ["a", "b"] {
-            let t = registry.get_mut(id).unwrap();
-            t.workloads = WorkloadVector::uniform(&t.app, rate);
-            let record = t.replan();
-            assert!(!record.skipped, "{id}: {record:?}");
+            registry
+                .with_tenant(id, |t| {
+                    t.workloads = WorkloadVector::uniform(&t.app, rate);
+                    let record = t.replan();
+                    assert!(!record.skipped, "{id}: {record:?}");
+                })
+                .unwrap();
         }
         // Solo run of the same app against a fresh registry must produce
         // the same plan bits: tenants cannot interfere.
         let mut solo = Registry::paper_pool();
         solo.create("a", tiny_app("a")).unwrap();
-        let t = solo.get_mut("a").unwrap();
-        t.workloads = WorkloadVector::uniform(&t.app, rate);
-        t.replan();
+        solo.with_tenant("a", |t| {
+            t.workloads = WorkloadVector::uniform(&t.app, rate);
+            t.replan();
+        })
+        .unwrap();
         assert_eq!(
-            solo.get("a").unwrap().plan(),
-            registry.get("a").unwrap().plan()
+            solo.with_tenant("a", |t| t.plan().cloned()).unwrap(),
+            registry.with_tenant("a", |t| t.plan().cloned()).unwrap()
         );
+    }
+
+    #[test]
+    fn tenant_locks_allow_concurrent_rounds() {
+        let mut registry = Registry::paper_pool();
+        let a = registry.create("a", tiny_app("a")).unwrap();
+        let b = registry.create("b", tiny_app("b")).unwrap();
+        let rate = RequestRate::per_minute(30_000.0);
+        // Both tenants replan from separate threads through their own
+        // locks; neither blocks the other and both histories land intact.
+        std::thread::scope(|s| {
+            for handle in [&a, &b] {
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let mut t = handle.lock().unwrap();
+                        t.workloads = WorkloadVector::uniform(&t.app, rate);
+                        t.replan();
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.with_tenant("a", |t| t.history.len()), Some(5));
+        assert_eq!(registry.with_tenant("b", |t| t.history.len()), Some(5));
     }
 
     #[test]
     fn ingest_requires_a_known_deployment() {
         let mut registry = Registry::paper_pool();
-        registry.create("a", tiny_app("a")).unwrap();
-        let tenant = registry.get_mut("a").unwrap();
+        let handle = registry.create("a", tiny_app("a")).unwrap();
+        let mut tenant = handle.lock().unwrap();
         let batch = SpanBatch {
             sampling: 1.0,
             containers: BTreeMap::new(),
@@ -406,15 +473,20 @@ mod tests {
         // resources now exceed capacity and the flag must trip.
         let mut registry = Registry::paper_pool();
         registry.create("a", tiny_app("a")).unwrap();
-        let t = registry.get_mut("a").unwrap();
-        t.workloads = WorkloadVector::uniform(&t.app, RequestRate::per_minute(60_000.0));
-        t.replan();
+        registry
+            .with_tenant("a", |t| {
+                t.workloads = WorkloadVector::uniform(&t.app, RequestRate::per_minute(60_000.0));
+                t.replan();
+            })
+            .unwrap();
         assert!(registry.pool_usage().requested_cpu > 0.0);
         assert!(!registry.pool_usage().oversubscribed());
 
         let mut cramped = Registry::new(vec![Host::new(0.05, 10.0)]);
         let filler = Tenant::new("x", tiny_app("x"), registry.pool());
-        let tenant = std::mem::replace(registry.get_mut("a").unwrap(), filler);
+        let tenant = registry
+            .with_tenant("a", |t| std::mem::replace(t, filler))
+            .unwrap();
         cramped.insert(tenant);
         let usage = cramped.pool_usage();
         assert!(usage.oversubscribed());

@@ -60,6 +60,7 @@
 
 pub mod equeue;
 pub mod faults;
+pub mod partition;
 pub mod reference;
 pub mod replicate;
 pub mod runtime;
@@ -71,8 +72,9 @@ pub mod telemetry;
 pub mod timekey;
 
 pub use faults::{ClusterFault, ClusterFaultPlan, FaultError, FaultPlan, SpotReclamation};
+pub use partition::Partition;
 pub use replicate::{replicate, replicate_serial, replication_seed};
 pub use runtime::{PercentileView, Scheduling, SimConfig, SimResult, Simulation};
 pub use service_time::ServiceTimeModel;
-pub use shard::{cross_shard_edge_fraction, shard_of};
+pub use shard::{cross_shard_edge_fraction, shard_of, ShardStats};
 pub use telemetry::{NullSink, RequestRecord, SpanRecord, TelemetrySink};

@@ -18,7 +18,7 @@
 //! benchmarks rely on when asserting incremental plans bit-identical to
 //! cold plans.
 
-use erms_core::app::Sla;
+use erms_core::app::{App, Sla, WorkloadVector};
 use erms_core::graph::GraphBuilder;
 use erms_core::ids::{MicroserviceId, NodeId};
 use erms_core::prelude::AppBuilder;
@@ -203,6 +203,77 @@ pub fn generate(config: &SynthConfig) -> GeneratedApp {
     }
 }
 
+/// Expected call rate over one merged dependency edge: how often, per
+/// millisecond, any service's requests traverse `parent → child`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRate {
+    /// The calling (parent) microservice.
+    pub parent: MicroserviceId,
+    /// The called (child) microservice.
+    pub child: MicroserviceId,
+    /// Expected calls per millisecond, summed across all services.
+    pub calls_per_ms: f64,
+}
+
+/// Workload-weighted rate hints over the merged dependency graphs of all
+/// services — the input a topology-aware shard partitioner needs: edge
+/// weights (expected calls/s over each parent→child microservice pair)
+/// and node weights (expected call arrivals at each microservice, a
+/// proxy for DES event load, since every call costs a constant handful
+/// of events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateHints {
+    /// Expected call arrivals per millisecond at each microservice,
+    /// indexed densely by `MicroserviceId`.
+    pub node_calls_per_ms: Vec<f64>,
+    /// Merged per-edge expected call rates, sorted by `(parent, child)`
+    /// with duplicates summed. Self-edges (a node calling a child on the
+    /// same microservice) are kept: they carry load but can never be cut.
+    pub edges: Vec<EdgeRate>,
+}
+
+/// Computes [`RateHints`] for an application under a workload vector.
+///
+/// Expected instance counts come from
+/// [`effective multiplicities`](erms_core::graph::Graph::effective_multiplicities):
+/// a node of effective multiplicity `m` in service `s` is invoked
+/// `rate(s) × m` times per millisecond in expectation (fractional
+/// multiplicities are Bernoulli extra-copy coins, so the expectation is
+/// exact). The output is a pure function of `(app, workloads)` — no RNG,
+/// `BTreeMap`-ordered aggregation — so two callers always derive the
+/// same hints. Services with zero rate still contribute their edges, at
+/// weight zero.
+#[must_use]
+pub fn rate_hints(app: &App, workloads: &WorkloadVector) -> RateHints {
+    let mut node_calls_per_ms = vec![0.0f64; app.microservice_count()];
+    let mut merged: std::collections::BTreeMap<(u32, u32), f64> = Default::default();
+    for (sid, svc) in app.services() {
+        let rate = workloads.rate(sid).as_per_ms();
+        let mult = svc.graph.effective_multiplicities();
+        for (nid, node) in svc.graph.iter() {
+            node_calls_per_ms[node.microservice.index()] += rate * mult[nid.index()];
+            for stage in &node.stages {
+                for &child in stage {
+                    let child_ms = svc.graph.node(child).microservice;
+                    let key = (node.microservice.index() as u32, child_ms.index() as u32);
+                    *merged.entry(key).or_insert(0.0) += rate * mult[child.index()];
+                }
+            }
+        }
+    }
+    RateHints {
+        node_calls_per_ms,
+        edges: merged
+            .into_iter()
+            .map(|((p, c), calls_per_ms)| EdgeRate {
+                parent: MicroserviceId::new(p),
+                child: MicroserviceId::new(c),
+                calls_per_ms,
+            })
+            .collect(),
+    }
+}
+
 /// Generates a deterministic heterogeneous cluster: a seeded mix of the
 /// three standard [`HostClass`]es, a `spot_fraction` of which are spot
 /// instances, spread round-robin over `zones` failure zones of two racks
@@ -326,6 +397,58 @@ mod tests {
         assert!(shapes.len() > 1, "host classes must actually differ");
         let none = heterogeneous_cluster(24, 0.0, 1, 11);
         assert_eq!(none.spot_host_count(), 0);
+    }
+
+    #[test]
+    fn rate_hints_are_exact_on_a_known_tree() {
+        use erms_core::app::RequestRate;
+        use erms_core::latency::LatencyProfile;
+        use erms_core::resources::Resources;
+        let mut b = AppBuilder::new("hints");
+        let a = b.microservice("a", LatencyProfile::linear(0.01, 1.0), Resources::default());
+        let c = b.microservice("c", LatencyProfile::linear(0.01, 1.0), Resources::default());
+        let d = b.microservice("d", LatencyProfile::linear(0.01, 1.0), Resources::default());
+        let svc = b.service("s", Sla::p95_ms(100.0), move |g| {
+            let root = g.entry(a);
+            let mid = g.call_seq_n(root, c, 2.0);
+            g.call_seq_n(mid, d, 0.5);
+        });
+        let app = b.build().unwrap();
+        let mut w = WorkloadVector::new();
+        w.set(svc, RequestRate::per_minute(60_000.0)); // 1 req/ms
+        let hints = rate_hints(&app, &w);
+        // Node weights: root 1/ms, c at multiplicity 2, d at 2 × 0.5 = 1.
+        assert_eq!(hints.node_calls_per_ms, vec![1.0, 2.0, 1.0]);
+        // Edges sorted by (parent, child), weights = child call rates.
+        assert_eq!(hints.edges.len(), 2);
+        assert_eq!((hints.edges[0].parent, hints.edges[0].child), (a, c));
+        assert_eq!(hints.edges[0].calls_per_ms, 2.0);
+        assert_eq!((hints.edges[1].parent, hints.edges[1].child), (c, d));
+        assert_eq!(hints.edges[1].calls_per_ms, 1.0);
+        // Zero workload keeps the structure, at weight zero.
+        let zero = rate_hints(&app, &WorkloadVector::new());
+        assert_eq!(zero.edges.len(), 2);
+        assert!(zero.node_calls_per_ms.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rate_hints_are_deterministic_and_merged_at_scale() {
+        use erms_core::app::RequestRate;
+        let g = generate(&SynthConfig::scaled(400, 13));
+        let mut w = WorkloadVector::new();
+        for (sid, _) in g.app.services() {
+            w.set(sid, RequestRate::per_minute(600.0));
+        }
+        let x = rate_hints(&g.app, &w);
+        let y = rate_hints(&g.app, &w);
+        assert_eq!(x, y, "hints must be a pure function of (app, workloads)");
+        // Sorted, duplicate-free edge list.
+        for pair in x.edges.windows(2) {
+            let a = (pair[0].parent.index(), pair[0].child.index());
+            let b = (pair[1].parent.index(), pair[1].child.index());
+            assert!(a < b, "edges must be strictly sorted: {a:?} vs {b:?}");
+        }
+        assert!(x.node_calls_per_ms.iter().any(|&v| v > 0.0));
     }
 
     #[test]

@@ -88,6 +88,11 @@ REQUIRED = {
         "snapshot.save_wall_ms",
         "snapshot.load_wall_ms",
         "snapshot.bit_identical",
+        "contention.threads",
+        "contention.batches_per_thread",
+        "contention.same_tenant_requests_per_sec",
+        "contention.distinct_tenant_requests_per_sec",
+        "contention.speedup",
     ],
     "BENCH_chaos.json": ENV_KEYS + [
         "quick",
@@ -124,6 +129,19 @@ REQUIRED = {
         "grid.[].events_per_sec",
         "grid.[].speedup_vs_serial",
         "grid.[].bit_identical",
+        "partition_compare.[].shards",
+        "partition_compare.[].modulo.cut_fraction",
+        "partition_compare.[].modulo.cut_edges",
+        "partition_compare.[].modulo.windows",
+        "partition_compare.[].modulo.messages",
+        "partition_compare.[].modulo.wall_ms",
+        "partition_compare.[].topology.cut_fraction",
+        "partition_compare.[].topology.cut_edges",
+        "partition_compare.[].topology.windows",
+        "partition_compare.[].topology.messages",
+        "partition_compare.[].topology.wall_ms",
+        "partition_compare.[].cut_reduction",
+        "partition_compare.[].bit_identical",
         "single_shard_overhead.sequential_events_per_sec",
         "single_shard_overhead.sharded_k1_events_per_sec",
         "speedup_4shards_4threads",

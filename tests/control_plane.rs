@@ -215,10 +215,9 @@ fn des_loopback_restores_sla_after_drift() {
     // The interference the service planned under — its cluster view's
     // average — is the one the simulated truth must run at, exactly as a
     // real deployment experiences the interference its placement creates.
-    let itf = plane.with_registry(|r| {
-        let t = r.get("prod").expect("tenant exists");
-        t.cluster.average_interference(&t.app)
-    });
+    let itf = plane
+        .with_tenant("prod", |t| t.cluster.average_interference(&t.app))
+        .expect("tenant exists");
     let truth = drifted_mechanics(&app, itf, p);
     let w = workload(s1, s2, 1.0);
 
@@ -312,10 +311,13 @@ fn des_loopback_restores_sla_after_drift() {
     // byte-identical to the same app planned solo in a fresh registry.
     let mut solo = Registry::paper_pool();
     solo.create("shadow", app.clone()).expect("solo create");
-    let t = solo.get_mut("shadow").expect("solo tenant");
-    t.workloads = workload(s1, s2, 1.0);
-    t.replan();
-    let solo_plan = t.plan().expect("solo plan").clone();
+    let solo_plan = solo
+        .with_tenant("shadow", |t| {
+            t.workloads = workload(s1, s2, 1.0);
+            t.replan();
+            t.plan().expect("solo plan").clone()
+        })
+        .expect("solo tenant");
     assert_eq!(
         plan_to_json(&solo_plan).render(),
         plan_to_json(&shadow_round1).render(),

@@ -300,6 +300,39 @@ fn sharded_golden_digest_is_pinned() {
 /// captured from `run_sharded(.., 1)` when the sharded engine landed.
 const SHARDED_GOLDEN_DIGEST: u64 = 3806858764435182055;
 
+/// The partition-aware adaptive-window entry point must land on the very
+/// same pinned digest: topology-aware partitions (and the window widening
+/// they enable) move *where* events execute, never what they compute.
+#[test]
+fn partitioned_runs_hit_the_pinned_sharded_digest() {
+    let (app, ms_ids, services) = chain_app();
+    let cs = containers_for(&app, 2);
+    let mut sim = Simulation::new(&app, base_config(42));
+    for &ms in &ms_ids {
+        sim.set_service_time(ms, ServiceTimeModel::new(2.0, 0.3, 1.0, 0.5));
+    }
+    sim.set_uniform_interference(Interference::new(0.2, 0.2));
+    let mut w = WorkloadVector::new();
+    w.set(services[0], RequestRate::per_minute(3_000.0));
+    for k in [2usize, 3] {
+        let partition = erms_sim::Partition::topology_aware(&app, &w, k);
+        let (result, stats) = sim
+            .run_sharded_with_partition(&w, &cs, &BTreeMap::new(), &partition)
+            .unwrap();
+        assert_eq!(
+            digest(&result),
+            SHARDED_GOLDEN_DIGEST,
+            "topology-aware K={k} diverged from the pinned sharded digest"
+        );
+        assert_eq!(stats.shards, k);
+        assert_eq!(
+            stats.cut_edges == 0,
+            stats.messages == 0,
+            "cut edges and message traffic must agree (stats {stats:?})"
+        );
+    }
+}
+
 /// The telemetry sink must be invisible to the simulation: its sampling
 /// coin is a private counter-hash stream, never the engine RNG, so a
 /// run observed by an enabled collector reproduces the pinned golden

@@ -132,8 +132,9 @@ fn restored_daemon_continues_bit_identically() {
     }
     // Telemetry lands in alpha's profiler (it survives the snapshot and
     // feeds the post-restore refit).
-    let containers: BTreeMap<MicroserviceId, u32> =
-        plane.with_registry(|r| r.get("alpha").unwrap().plan().unwrap().iter().collect());
+    let containers: BTreeMap<MicroserviceId, u32> = plane
+        .with_tenant("alpha", |t| t.plan().unwrap().iter().collect())
+        .unwrap();
     let batch = synthetic_batch(&fig5, containers);
     let (status, reply) = post(
         &mut client,
